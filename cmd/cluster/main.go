@@ -1,0 +1,114 @@
+// Command cluster runs one rank of a genuinely distributed training job
+// over TCP — the deployment analogue of launching the paper's
+// implementation with mpirun. Every process is started with the same
+// -addrs list; rank 0 becomes the master and ranks 1..N-1 become slaves
+// (one per grid cell, so N = grid² + 1).
+//
+// Example (2×2 grid, 5 processes on one machine):
+//
+//	for r in 0 1 2 3 4; do
+//	  cluster -rank $r -grid 2 -iterations 3 \
+//	          -addrs 127.0.0.1:9500,127.0.0.1:9501,127.0.0.1:9502,127.0.0.1:9503,127.0.0.1:9504 &
+//	done; wait
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cellgan/internal/cluster"
+	"cellgan/internal/config"
+	"cellgan/internal/mpi"
+)
+
+func main() {
+	rank := flag.Int("rank", -1, "this process's rank (0 = master)")
+	addrs := flag.String("addrs", "", "comma-separated host:port for every rank, in rank order")
+	gridSide := flag.Int("grid", 2, "square grid side")
+	iterations := flag.Int("iterations", 10, "training iterations")
+	batch := flag.Int("batch", 100, "mini-batch size")
+	batches := flag.Int("batches", 10, "mini-batches per iteration (0 = full epoch)")
+	datasetSize := flag.Int("dataset", 5000, "training samples (0 = full split)")
+	hidden := flag.Int("hidden", 64, "hidden width")
+	latent := flag.Int("latent", 32, "latent dimension")
+	seed := flag.Uint64("seed", 1, "random seed")
+	timeout := flag.Duration("connect-timeout", 30*time.Second, "mesh connection timeout")
+	flag.Parse()
+
+	list := strings.Split(*addrs, ",")
+	n := len(list)
+	if *addrs == "" || n < 2 {
+		fatal(fmt.Errorf("need -addrs with at least 2 entries"))
+	}
+	if *rank < 0 || *rank >= n {
+		fatal(fmt.Errorf("-rank %d out of range for %d addresses", *rank, n))
+	}
+
+	cfg := config.Default()
+	cfg.GridRows, cfg.GridCols = *gridSide, *gridSide
+	cfg.Iterations = *iterations
+	cfg.BatchSize = *batch
+	cfg.BatchesPerIteration = *batches
+	cfg.DatasetSize = *datasetSize
+	cfg.NeuronsPerHidden = *hidden
+	cfg.InputNeurons = *latent
+	cfg.Seed = *seed
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+	if cfg.NumTasks() != n {
+		fatal(fmt.Errorf("grid %d×%d needs %d processes (cells + master), got %d addresses",
+			*gridSide, *gridSide, cfg.NumTasks(), n))
+	}
+
+	node, err := mpi.ListenTCP(*rank, n, list[*rank])
+	if err != nil {
+		fatal(err)
+	}
+	defer node.Close()
+	fmt.Printf("rank %d listening on %s, connecting mesh...\n", *rank, node.Addr())
+	if err := node.Connect(list, *timeout); err != nil {
+		fatal(err)
+	}
+	comm, err := node.WorldComm()
+	if err != nil {
+		fatal(err)
+	}
+	local, err := cluster.SplitLocal(comm)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *rank == 0 {
+		res, err := cluster.RunMaster(comm, cluster.MasterOptions{
+			Cfg:  cfg,
+			Logf: func(format string, args ...interface{}) { fmt.Printf(format+"\n", args...) },
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\njob complete in %s; best cell %d (mixture fitness %.4f)\n",
+			res.Elapsed.Round(time.Millisecond), res.BestCell, res.Best().MixtureFitness)
+		for _, r := range res.Reports {
+			status := "ok"
+			if r.Error != "" {
+				status = "FAILED: " + r.Error
+			}
+			fmt.Printf("  cell %d on %s: %d iterations, fitness %.4f [%s]\n",
+				r.CellRank, r.Node, r.Iterations, r.MixtureFitness, status)
+		}
+		return
+	}
+	if err := cluster.RunSlave(comm, local); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("rank %d (slave) finished\n", *rank)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cluster:", err)
+	os.Exit(1)
+}

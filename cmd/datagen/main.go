@@ -1,0 +1,128 @@
+// Command datagen inspects and exports the synthetic digits dataset that
+// substitutes for MNIST in this reproduction.
+//
+// Examples:
+//
+//	datagen -show 3                 # print 3 samples as ASCII art
+//	datagen -digit 7 -show 2        # two sevens
+//	datagen -export out/ -n 20      # write 20 PGM images
+//	datagen -stats                  # class balance and pixel statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cellgan/internal/dataset"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "dataset seed")
+	split := flag.String("split", "train", "dataset split: train or test")
+	show := flag.Int("show", 0, "print N samples as ASCII art")
+	digit := flag.Int("digit", -1, "restrict to one digit class (0-9)")
+	export := flag.String("export", "", "directory to write PGM images into")
+	exportIDX := flag.String("export-idx", "", "directory to write MNIST-format IDX files into")
+	n := flag.Int("n", 10, "number of images to export")
+	stats := flag.Bool("stats", false, "print dataset statistics")
+	flag.Parse()
+
+	var ds *dataset.Dataset
+	switch *split {
+	case "train":
+		ds = dataset.Train(*seed)
+	case "test":
+		ds = dataset.Test(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown split %q\n", *split)
+		os.Exit(2)
+	}
+
+	// pick returns the i-th index matching the digit filter.
+	pick := func(i int) int {
+		if *digit < 0 {
+			return i
+		}
+		return *digit + i*dataset.NumClasses // label(idx) = idx mod 10
+	}
+
+	if *stats {
+		counts := make([]int, dataset.NumClasses)
+		sampleN := 1000
+		var mean, mn, mx float64
+		mn, mx = 1, -1
+		buf := make([]float64, dataset.Pixels)
+		for i := 0; i < sampleN; i++ {
+			counts[ds.Label(i)]++
+			ds.Render(i, buf)
+			for _, v := range buf {
+				mean += v
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+		}
+		mean /= float64(sampleN * dataset.Pixels)
+		fmt.Printf("split %s: %d samples, %d classes\n", *split, ds.N, dataset.NumClasses)
+		fmt.Printf("class counts over first %d samples: %v\n", sampleN, counts)
+		fmt.Printf("pixel stats over first %d samples: mean %.4f, min %.2f, max %.2f\n", sampleN, mean, mn, mx)
+	}
+
+	for i := 0; i < *show; i++ {
+		idx := pick(i)
+		if idx >= ds.N {
+			break
+		}
+		img, label := ds.Sample(idx)
+		fmt.Printf("sample %d (digit %d):\n%s\n", idx, label, dataset.ASCIIArt(img, dataset.Side))
+	}
+
+	if *export != "" {
+		if err := os.MkdirAll(*export, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		for i := 0; i < *n; i++ {
+			idx := pick(i)
+			if idx >= ds.N {
+				break
+			}
+			img, label := ds.Sample(idx)
+			name := filepath.Join(*export, fmt.Sprintf("%s_%05d_digit%d.pgm", *split, idx, label))
+			f, err := os.Create(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "datagen:", err)
+				os.Exit(1)
+			}
+			if err := dataset.WritePGM(f, img, dataset.Side); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "datagen:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "datagen:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("wrote %d PGM images to %s\n", *n, *export)
+	}
+
+	if *exportIDX != "" {
+		if err := os.MkdirAll(*exportIDX, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		imgPath := filepath.Join(*exportIDX, *split+"-images-idx3-ubyte")
+		lblPath := filepath.Join(*exportIDX, *split+"-labels-idx1-ubyte")
+		if err := dataset.SaveIDX(ds, *n, imgPath, lblPath); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d samples to %s and %s (MNIST IDX format)\n", *n, imgPath, lblPath)
+	}
+}

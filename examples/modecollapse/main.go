@@ -1,0 +1,80 @@
+// Modecollapse: the motivation of the paper's introduction — distributed
+// coevolutionary training mitigates GAN pathologies such as mode collapse.
+// This example trains (a) a single conventional GAN (a 1×1 grid, no
+// neighbours, no mixture diversity) and (b) a 2×2 cellular coevolutionary
+// grid, with the same total budget of gradient steps, and compares mode
+// coverage and inception score over the ten digit classes.
+//
+// Run with: go run ./examples/modecollapse
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cellgan/internal/config"
+	"cellgan/internal/core"
+	"cellgan/internal/dataset"
+	"cellgan/internal/metrics"
+	"cellgan/internal/tensor"
+)
+
+func main() {
+	base := config.Default()
+	base.BatchesPerIteration = 10
+	base.DatasetSize = 3000
+	base.NeuronsPerHidden = 64
+	base.InputNeurons = 32
+	base.BatchSize = 50
+
+	// Single GAN: one cell, so the sub-population is just itself; same
+	// number of total gradient steps as the 2×2 run below (4 cells × 6
+	// iterations = 24 cell-iterations).
+	single := base.WithGrid(1, 1)
+	single.Iterations = 24
+
+	coev := base.WithGrid(2, 2)
+	coev.Iterations = 6
+
+	rng := tensor.NewRNG(7)
+	cls, err := metrics.TrainClassifier(dataset.Train(base.Seed), metrics.DefaultClassifierOptions(), rng.Split())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	evaluate := func(name string, cfg config.Config) metrics.Report {
+		res, err := core.RunParallel(cfg, core.RunOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mix, err := res.MixtureFor(res.BestRank)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen := mix.Sample(400, cfg.InputNeurons, rng.Split())
+		rep, err := metrics.Evaluate(cls, gen, dataset.Test(cfg.Seed), 400)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s inception score %.3f | modes %2d/%d | TVD from uniform %.3f | Fréchet %.1f\n",
+			name, rep.InceptionScore, rep.ModeCoverage, dataset.NumClasses, rep.TVD, rep.Frechet)
+		return rep
+	}
+
+	fmt.Println("same budget of 24 cell-iterations, evaluated with a digit classifier:")
+	s := evaluate("single GAN (1×1):", single)
+	c := evaluate("coevolution (2×2):", coev)
+
+	fmt.Println()
+	switch {
+	case c.ModeCoverage > s.ModeCoverage:
+		fmt.Println("the coevolutionary mixture covers more digit modes — the diversity")
+		fmt.Println("of the neighbourhood mixture counteracts generator collapse.")
+	case c.InceptionScore > s.InceptionScore:
+		fmt.Println("equal coverage, but the coevolutionary mixture scores higher —")
+		fmt.Println("its samples are more class-balanced and more confidently classified.")
+	default:
+		fmt.Println("at this tiny training budget the runs are comparable; increase")
+		fmt.Println("-iterations to see the populations separate (the paper trains 200).")
+	}
+}

@@ -1,0 +1,55 @@
+// Quickstart: train a 2×2 grid of GANs with cellular coevolution and
+// sample the resulting generator mixture.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"cellgan/internal/config"
+	"cellgan/internal/core"
+	"cellgan/internal/dataset"
+	"cellgan/internal/tensor"
+)
+
+func main() {
+	// Start from the paper's Table I settings and shrink them so the
+	// example finishes in seconds on a laptop.
+	cfg := config.Default()
+	cfg.GridRows, cfg.GridCols = 2, 2
+	cfg.Iterations = 5
+	cfg.BatchesPerIteration = 8
+	cfg.DatasetSize = 2000
+	cfg.NeuronsPerHidden = 64
+	cfg.InputNeurons = 32
+
+	started := time.Now()
+	res, err := core.RunParallel(cfg, core.RunOptions{
+		Progress: func(rank int, s core.IterStats) {
+			if rank == 0 {
+				fmt.Printf("iteration %d: generator loss %.4f, discriminator loss %.4f\n",
+					s.Iteration, s.GenLoss, s.DiscLoss)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntrained %d cells in %s; best cell %d (mixture fitness %.4f)\n",
+		len(res.Cells), time.Since(started).Round(time.Millisecond),
+		res.BestRank, res.Best().MixtureFitness)
+
+	// The returned generative model is the best neighbourhood's weighted
+	// generator mixture (§II-B).
+	mix, err := res.MixtureFor(res.BestRank)
+	if err != nil {
+		log.Fatal(err)
+	}
+	imgs := mix.Sample(2, cfg.InputNeurons, tensor.NewRNG(42))
+	for i := 0; i < imgs.Rows; i++ {
+		fmt.Printf("\ngenerated digit %d:\n%s", i+1, dataset.ASCIIArt(imgs.Row(i), dataset.Side))
+	}
+}

@@ -1,0 +1,3 @@
+module cellgan
+
+go 1.22

@@ -1,0 +1,208 @@
+// Package checkpoint persists and restores complete training runs. The
+// paper's jobs run under a 96-hour limit on a best-effort queue, where
+// preemption is routine; checkpointing turns the limit into a pause:
+// a saved run resumes bit-for-bit (asserted by tests) because every
+// stochastic component's state — network parameters, optimizer moments,
+// random streams, data-loader positions, mixture weights — is captured.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"cellgan/internal/config"
+	"cellgan/internal/core"
+)
+
+// Checkpoint is a complete resumable training run.
+type Checkpoint struct {
+	// Cfg is the run configuration; a resume must use a config that
+	// differs at most in the iteration target.
+	Cfg config.Config
+	// States holds one full cell state per grid rank, in rank order.
+	States []*core.FullState
+}
+
+// FromResult captures a checkpoint from a finished (or partially
+// finished) run.
+func FromResult(res *core.Result) (*Checkpoint, error) {
+	if len(res.Full) == 0 {
+		return nil, fmt.Errorf("checkpoint: result carries no full states (async mode does not checkpoint)")
+	}
+	for i, f := range res.Full {
+		if f == nil {
+			return nil, fmt.Errorf("checkpoint: missing full state for cell %d", i)
+		}
+	}
+	return &Checkpoint{Cfg: res.Cfg, States: res.Full}, nil
+}
+
+const (
+	fileMagic   = uint64(0x43474b505430) // "CGKPT0"
+	fileVersion = uint64(1)
+	// maxSection bounds one serialised section (256 MiB).
+	maxSection = 256 << 20
+)
+
+// Write serialises the checkpoint.
+func Write(w io.Writer, cp *Checkpoint) error {
+	if len(cp.States) != cp.Cfg.NumCells() {
+		return fmt.Errorf("checkpoint: %d states for a %d-cell grid", len(cp.States), cp.Cfg.NumCells())
+	}
+	bw := bufio.NewWriter(w)
+	wU64 := func(v uint64) error {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		_, err := bw.Write(b[:])
+		return err
+	}
+	wBlob := func(b []byte) error {
+		if err := wU64(uint64(len(b))); err != nil {
+			return err
+		}
+		_, err := bw.Write(b)
+		return err
+	}
+	if err := wU64(fileMagic); err != nil {
+		return err
+	}
+	if err := wU64(fileVersion); err != nil {
+		return err
+	}
+	cfgJSON, err := cp.Cfg.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := wBlob(cfgJSON); err != nil {
+		return err
+	}
+	if err := wU64(uint64(len(cp.States))); err != nil {
+		return err
+	}
+	for _, s := range cp.States {
+		if err := wBlob(s.Marshal()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserialises a checkpoint written by Write.
+func Read(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
+	rU64 := func() (uint64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b[:]), nil
+	}
+	rBlob := func() ([]byte, error) {
+		n, err := rU64()
+		if err != nil {
+			return nil, err
+		}
+		if n > maxSection {
+			return nil, fmt.Errorf("checkpoint: section of %d bytes exceeds limit", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	magic, err := rU64()
+	if err != nil || magic != fileMagic {
+		return nil, fmt.Errorf("checkpoint: not a checkpoint stream")
+	}
+	version, err := rU64()
+	if err != nil {
+		return nil, err
+	}
+	if version != fileVersion {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d", version)
+	}
+	cfgJSON, err := rBlob()
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: config section: %w", err)
+	}
+	cfg, err := config.Unmarshal(cfgJSON)
+	if err != nil {
+		return nil, err
+	}
+	nStates, err := rU64()
+	if err != nil {
+		return nil, err
+	}
+	if int(nStates) != cfg.NumCells() {
+		return nil, fmt.Errorf("checkpoint: %d states for a %d-cell grid", nStates, cfg.NumCells())
+	}
+	cp := &Checkpoint{Cfg: cfg, States: make([]*core.FullState, nStates)}
+	for i := range cp.States {
+		blob, err := rBlob()
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: state %d: %w", i, err)
+		}
+		if cp.States[i], err = core.UnmarshalFullState(blob); err != nil {
+			return nil, fmt.Errorf("checkpoint: state %d: %w", i, err)
+		}
+		if cp.States[i].Cell.Rank != i {
+			return nil, fmt.Errorf("checkpoint: state %d is for rank %d", i, cp.States[i].Cell.Rank)
+		}
+	}
+	return cp, nil
+}
+
+// SaveFile writes the checkpoint atomically (temp file + rename).
+func SaveFile(path string, cp *Checkpoint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := Write(f, cp); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a checkpoint from disk.
+func LoadFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Resume continues a checkpointed run with mode ("seq" or "par") until
+// targetIterations, returning the new result. The stored configuration is
+// reused with only the iteration target changed.
+func Resume(cp *Checkpoint, mode string, targetIterations int, opts core.RunOptions) (*core.Result, error) {
+	cfg := cp.Cfg
+	cfg.Iterations = targetIterations
+	opts.Resume = cp.States
+	return core.Run(mode, cfg, opts)
+}
+
+// Iteration returns the iteration the checkpoint was taken at.
+func (cp *Checkpoint) Iteration() int {
+	if len(cp.States) == 0 {
+		return 0
+	}
+	return cp.States[0].Cell.Iteration
+}

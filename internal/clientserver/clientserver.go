@@ -1,0 +1,220 @@
+// Package clientserver implements the predecessor architecture the paper
+// replaces: "In a previous implementation of Mustangs/Lipizzaner, each
+// slave is binded to a port, allowing the system to execute in a
+// client-server parallel model" (§III-B). Every cell runs an HTTP server
+// publishing its latest center networks; instead of the MPI allgather,
+// cells *pull* their neighbours' states over HTTP after each iteration.
+//
+// The package exists as a working baseline comparator: the benchmarks
+// contrast its per-iteration exchange cost against the MPI-style
+// collective, which is the engineering argument of §III.
+package clientserver
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"cellgan/internal/config"
+	"cellgan/internal/core"
+	"cellgan/internal/profile"
+)
+
+// statePath is the HTTP endpoint a cell publishes its center state on.
+const statePath = "/state"
+
+// maxStateBody bounds a pulled state (64 MiB).
+const maxStateBody = 64 << 20
+
+// node is one cell plus its HTTP server and published state.
+type node struct {
+	cell *core.Cell
+
+	mu    sync.RWMutex
+	state []byte
+
+	listener net.Listener
+	server   *http.Server
+}
+
+// publish snapshots the cell's current state into the served buffer.
+func (n *node) publish() error {
+	s, err := n.cell.State()
+	if err != nil {
+		return err
+	}
+	payload := s.Marshal()
+	n.mu.Lock()
+	n.state = payload
+	n.mu.Unlock()
+	return nil
+}
+
+// ServeHTTP serves the published state.
+func (n *node) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != statePath {
+		http.NotFound(w, r)
+		return
+	}
+	n.mu.RLock()
+	payload := n.state
+	n.mu.RUnlock()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(payload)
+}
+
+// start brings the node's HTTP server up on a loopback port.
+func (n *node) start() (url string, err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("clientserver: %w", err)
+	}
+	n.listener = ln
+	n.server = &http.Server{Handler: n, ReadHeaderTimeout: 5 * time.Second}
+	go n.server.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return "http://" + ln.Addr().String(), nil
+}
+
+func (n *node) stop() {
+	if n.server != nil {
+		n.server.Close()
+	}
+}
+
+// pull fetches a neighbour's state over HTTP.
+func pull(client *http.Client, url string) (*core.CellState, error) {
+	resp, err := client.Get(url + statePath)
+	if err != nil {
+		return nil, fmt.Errorf("clientserver: pulling %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("clientserver: %s returned %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxStateBody))
+	if err != nil {
+		return nil, fmt.Errorf("clientserver: reading %s: %w", url, err)
+	}
+	return core.UnmarshalCellState(body)
+}
+
+// Run trains the grid in the client-server model: every cell serves its
+// state on its own port and pulls its neighbourhood over HTTP after each
+// iteration. Results match the structure of core's runners so callers can
+// compare the architectures directly.
+func Run(cfg config.Config, opts core.RunOptions) (*core.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	prof := opts.Prof
+	if prof == nil {
+		prof = profile.New()
+	}
+	started := time.Now()
+	g, err := core.BuildGridFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	nCells := g.Size()
+
+	nodes := make([]*node, nCells)
+	urls := make([]string, nCells)
+	for r := 0; r < nCells; r++ {
+		cell, err := core.NewCellWithData(cfg, r, g, prof, opts.Data)
+		if err != nil {
+			return nil, err
+		}
+		nodes[r] = &node{cell: cell}
+		if err := nodes[r].publish(); err != nil {
+			return nil, err
+		}
+		if urls[r], err = nodes[r].start(); err != nil {
+			return nil, err
+		}
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.stop()
+		}
+	}()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	results := make([]core.CellResult, nCells)
+	errs := make(chan error, nCells)
+	var wg sync.WaitGroup
+	for r := 0; r < nCells; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs <- func() error {
+				nd := nodes[rank]
+				refresh := func() error {
+					defer prof.Start(profile.RoutineGather)()
+					for _, nb := range g.Neighborhood(rank) {
+						if nb == rank {
+							continue
+						}
+						s, err := pull(client, urls[nb])
+						if err != nil {
+							return err
+						}
+						if err := nd.cell.UpdateNeighbor(s); err != nil {
+							return err
+						}
+					}
+					return nil
+				}
+				var last core.IterStats
+				for iter := 0; iter < cfg.Iterations; iter++ {
+					if err := refresh(); err != nil {
+						return err
+					}
+					var err error
+					last, err = nd.cell.Iterate()
+					if err != nil {
+						return err
+					}
+					if opts.Progress != nil {
+						opts.Progress(rank, last)
+					}
+					if err := nd.publish(); err != nil {
+						return err
+					}
+				}
+				state, err := nd.cell.State()
+				if err != nil {
+					return err
+				}
+				results[rank] = core.CellResult{
+					Rank:           rank,
+					State:          state,
+					MixtureRanks:   append([]int(nil), nd.cell.Mixture().Ranks...),
+					MixtureWeights: append([]float64(nil), nd.cell.Mixture().Weights...),
+					MixtureFitness: last.MixtureFitness,
+					Last:           last,
+				}
+				return nil
+			}()
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &core.Result{Cfg: cfg, Cells: results, Elapsed: time.Since(started), Profile: prof.Snapshot()}
+	best := 0
+	for i, c := range results {
+		if c.MixtureFitness < results[best].MixtureFitness {
+			best = i
+		}
+	}
+	res.BestRank = best
+	return res, nil
+}

@@ -1,0 +1,135 @@
+package clientserver
+
+import (
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"testing"
+
+	"cellgan/internal/config"
+	"cellgan/internal/core"
+	"cellgan/internal/grid"
+	"cellgan/internal/profile"
+)
+
+func tinyCfg() config.Config {
+	return config.Default().Scaled(2, 8, 100)
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	cfg := tinyCfg()
+	prof := profile.New()
+	res, err := Run(cfg, core.RunOptions{Prof: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != cfg.NumCells() {
+		t.Fatalf("cells %d", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Last.Iteration != cfg.Iterations {
+			t.Fatalf("cell %d at iteration %d", c.Rank, c.Last.Iteration)
+		}
+		if math.IsNaN(c.MixtureFitness) {
+			t.Fatalf("cell %d NaN fitness", c.Rank)
+		}
+		// Each cell must have pulled its neighbourhood.
+		if len(c.MixtureRanks) < 2 {
+			t.Fatalf("cell %d never absorbed a neighbour: %v", c.Rank, c.MixtureRanks)
+		}
+	}
+	// The gather routine (HTTP pulls) must be profiled.
+	if prof.Get(profile.RoutineGather).Count == 0 {
+		t.Fatal("HTTP exchange not profiled as gather")
+	}
+	if res.BestRank < 0 || res.BestRank >= len(res.Cells) {
+		t.Fatalf("best rank %d", res.BestRank)
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.BatchSize = -1
+	if _, err := Run(cfg, core.RunOptions{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestNodeServesState(t *testing.T) {
+	cfg := tinyCfg()
+	g := grid.MustNew(cfg.GridRows, cfg.GridCols)
+	cell, err := core.NewCell(cfg, 0, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := &node{cell: cell}
+	if err := nd.publish(); err != nil {
+		t.Fatal(err)
+	}
+	url, err := nd.start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.stop()
+
+	s, err := pull(http.DefaultClient, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rank != 0 {
+		t.Fatalf("served state rank %d", s.Rank)
+	}
+
+	// Unknown paths 404.
+	resp, err := http.Get(url + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path status %d", resp.StatusCode)
+	}
+}
+
+func TestPullErrors(t *testing.T) {
+	if _, err := pull(http.DefaultClient, "http://127.0.0.1:1"); err == nil {
+		t.Fatal("dead server accepted")
+	}
+	// A server returning garbage must be rejected by the state decoder.
+	mux := http.NewServeMux()
+	mux.HandleFunc(statePath, func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not a cell state"))
+	})
+	srv := &http.Server{Handler: mux}
+	ln, url := listenLoopback(t)
+	go srv.Serve(ln) //nolint:errcheck
+	defer srv.Close()
+	if _, err := pull(http.DefaultClient, url); err == nil {
+		t.Fatal("garbage state accepted")
+	}
+}
+
+func TestPullNon200(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc(statePath, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "busy", http.StatusServiceUnavailable)
+	})
+	srv := &http.Server{Handler: mux}
+	ln, url := listenLoopback(t)
+	go srv.Serve(ln) //nolint:errcheck
+	defer srv.Close()
+	if _, err := pull(http.DefaultClient, url); err == nil {
+		t.Fatal("503 accepted")
+	}
+}
+
+func listenLoopback(t *testing.T) (net.Listener, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln, "http://" + ln.Addr().String()
+}

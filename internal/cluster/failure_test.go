@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cellgan/internal/mpi"
+)
+
+// TestMasterDetectsDeadSlave runs a job where one "slave" sends its node
+// name and then goes silent; the master must fail with an unresponsive
+// error instead of hanging.
+func TestMasterDetectsDeadSlave(t *testing.T) {
+	cfg := jobConfig()
+	n := cfg.NumTasks()
+	w := mpi.MustWorld(n)
+	defer w.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for rank := 0; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs <- func() error {
+				comm, err := w.Comm(rank)
+				if err != nil {
+					return err
+				}
+				local, err := SplitLocal(comm)
+				if err != nil {
+					return err
+				}
+				switch rank {
+				case 0:
+					_, err := RunMaster(comm, MasterOptions{
+						Cfg:               cfg,
+						HeartbeatInterval: time.Millisecond,
+						HeartbeatTimeout:  100 * time.Millisecond,
+					})
+					if err == nil {
+						return errAssert("master did not detect the dead slave")
+					}
+					if !strings.Contains(err.Error(), "unresponsive") {
+						return errAssert("unexpected master error: " + err.Error())
+					}
+					// Tear the world down so surviving slaves exit too.
+					w.Close()
+					return nil
+				case 2:
+					// The dead slave: announce, then vanish.
+					return comm.Send(0, tagNodeName, []byte("zombie"))
+				default:
+					err := RunSlave(comm, local)
+					// Survivors die with ErrClosed when the master tears
+					// the world down — that is the expected cleanup path.
+					if err == nil || strings.Contains(err.Error(), "closed") {
+						return nil
+					}
+					return err
+				}
+			}()
+		}(rank)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job with dead slave hung")
+	}
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type errAssert string
+
+func (e errAssert) Error() string { return string(e) }

@@ -1,0 +1,125 @@
+// Package cluster implements the master/slave execution runtime of the
+// paper's §III: a master process that inventories computing resources,
+// decides task placement, distributes the parameter configuration,
+// launches slaves, monitors them through a heartbeat thread, and gathers
+// final results; and slave processes whose main thread serves the control
+// protocol while an execution thread performs the cellular GAN training.
+//
+// The underlying platform — the National Supercomputing Center
+// (Cluster-UY) with its slurm best-effort queue — is simulated by an
+// in-memory node inventory and a load-balancing placement strategy, which
+// reproduces the resource-allocation figures of the paper's Table II.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node describes one compute server of the simulated cluster.
+type Node struct {
+	// Name identifies the node.
+	Name string
+	// Cores is the number of CPU cores (40 on Cluster-UY).
+	Cores int
+	// MemoryMB is the node RAM (128 GB on Cluster-UY).
+	MemoryMB int
+}
+
+// Inventory is the set of nodes a job may run on.
+type Inventory []Node
+
+// DefaultInventory models Cluster-UY: up to 30 servers, each with 40-core
+// Xeon Gold 6138 processors and 128 GB of RAM (§IV-B).
+func DefaultInventory() Inventory {
+	inv := make(Inventory, 30)
+	for i := range inv {
+		inv[i] = Node{Name: fmt.Sprintf("node%02d", i+1), Cores: 40, MemoryMB: 128 * 1024}
+	}
+	return inv
+}
+
+// Placement assigns one MPI task to a core of a node.
+type Placement struct {
+	// Task is the MPI rank (0 = master).
+	Task int
+	// Node is the hosting node's name.
+	Node string
+	// Core is the core index on that node.
+	Core int
+}
+
+// Allocate places tasks onto the inventory with the paper's strategy:
+// minimise and balance the load on each node (§III-B), i.e. each task goes
+// to the node with the fewest tasks so far that still has a free core and
+// enough memory. It returns one placement per task, task order.
+func Allocate(inv Inventory, tasks, memPerTaskMB int) ([]Placement, error) {
+	if tasks <= 0 {
+		return nil, fmt.Errorf("cluster: task count %d must be positive", tasks)
+	}
+	if memPerTaskMB < 0 {
+		return nil, fmt.Errorf("cluster: memory per task %d must be non-negative", memPerTaskMB)
+	}
+	if len(inv) == 0 {
+		return nil, fmt.Errorf("cluster: empty inventory")
+	}
+	type load struct {
+		node    Node
+		used    int // cores in use
+		memUsed int
+	}
+	loads := make([]*load, len(inv))
+	for i, n := range inv {
+		if n.Cores <= 0 || n.MemoryMB < 0 {
+			return nil, fmt.Errorf("cluster: node %q has invalid resources (%d cores, %d MB)", n.Name, n.Cores, n.MemoryMB)
+		}
+		loads[i] = &load{node: n}
+	}
+	out := make([]Placement, 0, tasks)
+	for task := 0; task < tasks; task++ {
+		// Pick the least-loaded feasible node; ties break by name for
+		// determinism.
+		var best *load
+		for _, l := range loads {
+			if l.used >= l.node.Cores || l.memUsed+memPerTaskMB > l.node.MemoryMB {
+				continue
+			}
+			if best == nil || l.used < best.used || (l.used == best.used && l.node.Name < best.node.Name) {
+				best = l
+			}
+		}
+		if best == nil {
+			return nil, fmt.Errorf("cluster: cannot place task %d: no node with a free core and %d MB", task, memPerTaskMB)
+		}
+		out = append(out, Placement{Task: task, Node: best.node.Name, Core: best.used})
+		best.used++
+		best.memUsed += memPerTaskMB
+	}
+	return out, nil
+}
+
+// Summary aggregates a placement list into per-node task counts, sorted by
+// node name — the form reported in job logs.
+func Summary(ps []Placement) []struct {
+	Node  string
+	Tasks int
+} {
+	counts := map[string]int{}
+	for _, p := range ps {
+		counts[p.Node]++
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]struct {
+		Node  string
+		Tasks int
+	}, len(names))
+	for i, n := range names {
+		out[i].Node = n
+		out[i].Tasks = counts[n]
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"testing"
+
+	"cellgan/internal/config"
+)
+
+func TestDefaultInventoryModelsClusterUY(t *testing.T) {
+	inv := DefaultInventory()
+	if len(inv) != 30 {
+		t.Fatalf("nodes %d want 30", len(inv))
+	}
+	for _, n := range inv {
+		if n.Cores != 40 {
+			t.Fatalf("node %s cores %d", n.Name, n.Cores)
+		}
+		if n.MemoryMB != 128*1024 {
+			t.Fatalf("node %s memory %d", n.Name, n.MemoryMB)
+		}
+	}
+}
+
+func TestAllocateValidation(t *testing.T) {
+	inv := DefaultInventory()
+	if _, err := Allocate(inv, 0, 100); err == nil {
+		t.Fatal("zero tasks accepted")
+	}
+	if _, err := Allocate(inv, 3, -1); err == nil {
+		t.Fatal("negative memory accepted")
+	}
+	if _, err := Allocate(nil, 3, 100); err == nil {
+		t.Fatal("empty inventory accepted")
+	}
+	if _, err := Allocate(Inventory{{Name: "bad", Cores: 0}}, 1, 0); err == nil {
+		t.Fatal("invalid node accepted")
+	}
+}
+
+func TestAllocateBalancesLoad(t *testing.T) {
+	inv := Inventory{
+		{Name: "a", Cores: 4, MemoryMB: 8192},
+		{Name: "b", Cores: 4, MemoryMB: 8192},
+	}
+	ps, err := Allocate(inv, 6, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 6 {
+		t.Fatalf("placements %d", len(ps))
+	}
+	sum := Summary(ps)
+	if len(sum) != 2 || sum[0].Tasks != 3 || sum[1].Tasks != 3 {
+		t.Fatalf("unbalanced placement %v", sum)
+	}
+	// Cores must be distinct per node.
+	seen := map[string]map[int]bool{}
+	for _, p := range ps {
+		if seen[p.Node] == nil {
+			seen[p.Node] = map[int]bool{}
+		}
+		if seen[p.Node][p.Core] {
+			t.Fatalf("core %d on %s assigned twice", p.Core, p.Node)
+		}
+		seen[p.Node][p.Core] = true
+	}
+}
+
+func TestAllocateRespectsCoreLimit(t *testing.T) {
+	inv := Inventory{{Name: "only", Cores: 2, MemoryMB: 1 << 20}}
+	if _, err := Allocate(inv, 3, 0); err == nil {
+		t.Fatal("overcommitted cores accepted")
+	}
+}
+
+func TestAllocateRespectsMemoryLimit(t *testing.T) {
+	inv := Inventory{{Name: "small", Cores: 10, MemoryMB: 2048}}
+	if _, err := Allocate(inv, 3, 1024); err == nil {
+		t.Fatal("overcommitted memory accepted")
+	}
+	ps, err := Allocate(inv, 2, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 {
+		t.Fatalf("placements %d", len(ps))
+	}
+}
+
+func TestAllocateDeterministic(t *testing.T) {
+	inv := DefaultInventory()
+	a, err := Allocate(inv, 17, 1843)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Allocate(inv, 17, 1843)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("placement %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTableIIResourceFigures(t *testing.T) {
+	// Table II: 5/10/17 tasks for the three grids, each task on its own
+	// core, memory growing with the grid.
+	inv := DefaultInventory()
+	for _, m := range []int{2, 3, 4} {
+		cfg := config.Default().WithGrid(m, m)
+		ps, err := Allocate(inv, cfg.NumTasks(), cfg.MemoryPerTaskMB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ps) != cfg.NumTasks() {
+			t.Fatalf("%d×%d: %d placements", m, m, len(ps))
+		}
+	}
+}

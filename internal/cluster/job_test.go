@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cellgan/internal/config"
+	"cellgan/internal/core"
+	"cellgan/internal/mpi"
+	"cellgan/internal/profile"
+)
+
+// jobConfig is a fast 2×2-grid configuration (5 tasks).
+func jobConfig() config.Config {
+	return config.Default().Scaled(2, 8, 100)
+}
+
+func TestRunJobEndToEnd(t *testing.T) {
+	cfg := jobConfig()
+	res, err := RunJob(MasterOptions{Cfg: cfg, HeartbeatInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted {
+		t.Fatal("job aborted unexpectedly")
+	}
+	if len(res.Reports) != cfg.NumCells() {
+		t.Fatalf("reports %d", len(res.Reports))
+	}
+	for i, r := range res.Reports {
+		if r.Error != "" {
+			t.Fatalf("slave for cell %d failed: %s", i, r.Error)
+		}
+		if r.CellRank != i {
+			t.Fatalf("report %d is for cell %d", i, r.CellRank)
+		}
+		if r.Iterations != cfg.Iterations {
+			t.Fatalf("cell %d ran %d iterations", i, r.Iterations)
+		}
+		if len(r.State) == 0 {
+			t.Fatalf("cell %d missing state", i)
+		}
+		if _, err := core.UnmarshalCellState(r.State); err != nil {
+			t.Fatalf("cell %d state corrupt: %v", i, err)
+		}
+		if len(r.MixtureRanks) == 0 || len(r.MixtureRanks) != len(r.MixtureWeights) {
+			t.Fatalf("cell %d mixture %v/%v", i, r.MixtureRanks, r.MixtureWeights)
+		}
+	}
+	// Best cell must be the minimum mixture fitness.
+	for _, r := range res.Reports {
+		if r.MixtureFitness < res.Best().MixtureFitness {
+			t.Fatal("BestCell is not minimal")
+		}
+	}
+	// The merged profile must include all four routines of Table IV.
+	for _, routine := range []string{profile.RoutineTrain, profile.RoutineMutate,
+		profile.RoutineUpdateGenomes, profile.RoutineGather} {
+		if res.Profile[routine].Count == 0 {
+			t.Fatalf("merged profile missing %q", routine)
+		}
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+	if len(res.Placements) != cfg.NumTasks() {
+		t.Fatalf("placements %d", len(res.Placements))
+	}
+}
+
+func TestJobRecordsStateTransitions(t *testing.T) {
+	cfg := jobConfig()
+	res, err := RunJob(MasterOptions{Cfg: cfg, HeartbeatInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every slave must be observed reaching finished; the
+	// inactive→processing hop can be missed if the first heartbeat lands
+	// after training started, but finished is always seen because the
+	// heartbeat loop only exits on it.
+	finished := map[int]bool{}
+	for _, tr := range res.Transitions {
+		if tr.From == tr.To {
+			t.Fatalf("degenerate transition %+v", tr)
+		}
+		if tr.To == StateFinished {
+			finished[tr.Slave] = true
+		}
+	}
+	for s := 1; s <= cfg.NumCells(); s++ {
+		if !finished[s] {
+			t.Fatalf("slave %d never observed finished; transitions: %+v", s, res.Transitions)
+		}
+	}
+}
+
+func TestJobEventLogTellsFig3Story(t *testing.T) {
+	cfg := jobConfig()
+	res, err := RunJob(MasterOptions{Cfg: cfg, HeartbeatInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := strings.Join(res.Log, "\n")
+	for _, want := range []string{"gathered", "placed", "run task", "collecting results", "best cell"} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("event log missing %q:\n%s", want, log)
+		}
+	}
+}
+
+func TestJobTimeLimitAborts(t *testing.T) {
+	cfg := jobConfig()
+	cfg.Iterations = 10000 // would take far longer than the limit
+	cfg.TimeLimit = 50 * time.Millisecond
+	res, err := RunJob(MasterOptions{Cfg: cfg, HeartbeatInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aborted {
+		t.Fatal("job did not abort on time limit")
+	}
+	for _, r := range res.Reports {
+		if r.Iterations >= cfg.Iterations {
+			t.Fatalf("cell %d completed all iterations despite abort", r.CellRank)
+		}
+	}
+	// All slaves stop at a consistent iteration count thanks to the
+	// abort-consensus exchange: counts may differ by at most one round.
+	min, max := res.Reports[0].Iterations, res.Reports[0].Iterations
+	for _, r := range res.Reports {
+		if r.Iterations < min {
+			min = r.Iterations
+		}
+		if r.Iterations > max {
+			max = r.Iterations
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("abort left slaves %d..%d iterations apart", min, max)
+	}
+}
+
+func TestRunMasterValidation(t *testing.T) {
+	w := mpi.MustWorld(2)
+	defer w.Close()
+	c1 := w.MustComm(1)
+	if _, err := RunMaster(c1, MasterOptions{Cfg: jobConfig()}); err == nil {
+		t.Fatal("master on rank 1 accepted")
+	}
+	c0 := w.MustComm(0)
+	if _, err := RunMaster(c0, MasterOptions{Cfg: jobConfig()}); err == nil {
+		t.Fatal("wrong world size accepted") // 2×2 grid needs 5 ranks
+	}
+	bad := jobConfig()
+	bad.BatchSize = 0
+	if _, err := RunMaster(c0, MasterOptions{Cfg: bad}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestRunSlaveValidation(t *testing.T) {
+	w := mpi.MustWorld(2)
+	defer w.Close()
+	if err := RunSlave(w.MustComm(0), nil); err == nil {
+		t.Fatal("slave on rank 0 accepted")
+	}
+	if err := RunSlave(w.MustComm(1), nil); err == nil {
+		t.Fatal("nil local communicator accepted")
+	}
+}
+
+func TestRunJobRejectsInvalidConfig(t *testing.T) {
+	bad := jobConfig()
+	bad.Iterations = -1
+	if _, err := RunJob(MasterOptions{Cfg: bad}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestSlaveStateString(t *testing.T) {
+	for st, want := range map[SlaveState]string{
+		StateInactive:   "inactive",
+		StateProcessing: "processing",
+		StateFinished:   "finished",
+		SlaveState(9):   "state(9)",
+	} {
+		if st.String() != want {
+			t.Fatalf("%d -> %q want %q", st, st.String(), want)
+		}
+	}
+}
+
+func TestJobOverTCPTransport(t *testing.T) {
+	// The same master/slave code over real sockets: 5 TCP nodes on
+	// loopback running a tiny 2×2 job.
+	if testing.Short() {
+		t.Skip("TCP job in -short mode")
+	}
+	cfg := jobConfig()
+	cfg.Iterations = 1
+	n := cfg.NumTasks()
+	nodes := make([]*mpi.TCPNode, n)
+	addrs := make([]string, n)
+	for r := 0; r < n; r++ {
+		node, err := mpi.ListenTCP(r, n, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[r] = node
+		addrs[r] = node.Addr()
+		defer node.Close()
+	}
+	type out struct {
+		res *JobResult
+		err error
+	}
+	results := make(chan out, n)
+	for r := 0; r < n; r++ {
+		go func(rank int) {
+			results <- func() out {
+				if err := nodes[rank].Connect(addrs, 10*time.Second); err != nil {
+					return out{err: err}
+				}
+				comm, err := nodes[rank].WorldComm()
+				if err != nil {
+					return out{err: err}
+				}
+				local, err := SplitLocal(comm)
+				if err != nil {
+					return out{err: err}
+				}
+				if rank == 0 {
+					res, err := RunMaster(comm, MasterOptions{Cfg: cfg, HeartbeatInterval: 5 * time.Millisecond})
+					return out{res: res, err: err}
+				}
+				return out{err: RunSlave(comm, local)}
+			}()
+		}(r)
+	}
+	var res *JobResult
+	for i := 0; i < n; i++ {
+		o := <-results
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		if o.res != nil {
+			res = o.res
+		}
+	}
+	if res == nil || len(res.Reports) != cfg.NumCells() {
+		t.Fatalf("TCP job result %+v", res)
+	}
+	for _, r := range res.Reports {
+		if r.Error != "" {
+			t.Fatalf("cell %d: %s", r.CellRank, r.Error)
+		}
+	}
+}

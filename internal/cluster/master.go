@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cellgan/internal/config"
+	"cellgan/internal/mpi"
+	"cellgan/internal/profile"
+)
+
+// MasterOptions tunes the master process.
+type MasterOptions struct {
+	// Cfg is the experiment configuration broadcast to the slaves.
+	Cfg config.Config
+	// Inventory is the simulated cluster; nil uses DefaultInventory.
+	Inventory Inventory
+	// HeartbeatInterval is the period of the monitoring thread
+	// ("Wait X seconds" in Fig 3); 0 defaults to 50 ms.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long the master waits for a slave's status
+	// reply before declaring it dead; 0 defaults to 10 s.
+	HeartbeatTimeout time.Duration
+	// Logf, when non-nil, receives the master's event log lines as they
+	// are produced.
+	Logf func(format string, args ...interface{})
+}
+
+// RunMaster executes the master role on rank 0 of comm (Fig 3, left). The
+// communicator must have exactly Cfg.NumTasks() ranks: the master plus one
+// slave per grid cell. Every rank must call SplitLocal first so the
+// collective contexts exist on all processes.
+func RunMaster(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) {
+	if comm.Rank() != 0 {
+		return nil, fmt.Errorf("cluster: RunMaster must run on rank 0, got %d", comm.Rank())
+	}
+	if err := opts.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if want := opts.Cfg.NumTasks(); comm.Size() != want {
+		return nil, fmt.Errorf("cluster: config needs %d tasks, communicator has %d", want, comm.Size())
+	}
+	if opts.Inventory == nil {
+		opts.Inventory = DefaultInventory()
+	}
+	if opts.HeartbeatInterval <= 0 {
+		opts.HeartbeatInterval = 50 * time.Millisecond
+	}
+	if opts.HeartbeatTimeout <= 0 {
+		opts.HeartbeatTimeout = 10 * time.Second
+	}
+
+	res := &JobResult{}
+	started := time.Now()
+	logf := func(format string, args ...interface{}) {
+		line := fmt.Sprintf(format, args...)
+		res.Log = append(res.Log, line)
+		if opts.Logf != nil {
+			opts.Logf("%s", line)
+		}
+	}
+	nSlaves := comm.Size() - 1
+
+	// (i) Gather information about the computing infrastructure: the
+	// slaves report their node names.
+	names := make([]string, nSlaves+1)
+	names[0] = "master"
+	for i := 0; i < nSlaves; i++ {
+		m, err := comm.Recv(mpi.AnySource, tagNodeName)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: gathering node names: %w", err)
+		}
+		names[m.Src] = string(m.Data)
+	}
+	logf("master: gathered %d slave node names", nSlaves)
+
+	// (ii)+(iii) Decide placement, balancing load across nodes.
+	placements, err := Allocate(opts.Inventory, comm.Size(), opts.Cfg.MemoryPerTaskMB)
+	if err != nil {
+		return nil, err
+	}
+	res.Placements = placements
+	logf("master: placed %d tasks on %d nodes (%d MB total)",
+		comm.Size(), len(Summary(placements)), opts.Cfg.MemoryMB())
+
+	// (iv) Share the parameter configuration and start the slaves.
+	for s := 1; s <= nSlaves; s++ {
+		task := runTask{Cfg: opts.Cfg, CellRank: s - 1, Node: placements[s].Node, Core: placements[s].Core}
+		payload, err := task.marshal()
+		if err != nil {
+			return nil, err
+		}
+		if err := comm.Send(s, tagRunTask, payload); err != nil {
+			return nil, fmt.Errorf("cluster: sending run task to slave %d: %w", s, err)
+		}
+	}
+	logf("master: sent run task to %d slaves", nSlaves)
+
+	// Heartbeat thread: periodically poll every slave's state, recording
+	// transitions, until all report finished or the time limit passes.
+	states := make([]SlaveState, nSlaves+1)
+	var transMu sync.Mutex
+	deadline := time.Time{}
+	if opts.Cfg.TimeLimit > 0 {
+		deadline = started.Add(opts.Cfg.TimeLimit)
+	}
+	aborted := false
+	hbErr := make(chan error, 1)
+	go func() {
+		hbErr <- func() error {
+			for {
+				allFinished := true
+				for s := 1; s <= nSlaves; s++ {
+					if err := comm.Send(s, tagStatus, nil); err != nil {
+						return err
+					}
+					m, err := comm.RecvTimeout(s, tagStatus, opts.HeartbeatTimeout)
+					if err != nil {
+						return fmt.Errorf("slave %d unresponsive: %w", s, err)
+					}
+					st := SlaveState(m.Data[0])
+					if st != states[s] {
+						transMu.Lock()
+						res.Transitions = append(res.Transitions, Transition{Slave: s, From: states[s], To: st, At: time.Now()})
+						transMu.Unlock()
+						logf("heartbeat: slave %d %s -> %s", s, states[s], st)
+						states[s] = st
+					}
+					if st != StateFinished {
+						allFinished = false
+					}
+				}
+				if allFinished {
+					return nil
+				}
+				if !aborted && !deadline.IsZero() && time.Now().After(deadline) {
+					aborted = true
+					logf("heartbeat: time limit exceeded, sending abort to all slaves")
+					for s := 1; s <= nSlaves; s++ {
+						if err := comm.Send(s, tagAbort, nil); err != nil {
+							return err
+						}
+					}
+				}
+				time.Sleep(opts.HeartbeatInterval)
+			}
+		}()
+	}()
+	if err := <-hbErr; err != nil {
+		return nil, fmt.Errorf("cluster: heartbeat thread: %w", err)
+	}
+	logf("master: all slaves finished, collecting results")
+
+	// Gather final results from each slave and release them.
+	prof := profile.New()
+	res.Reports = make([]SlaveReport, nSlaves)
+	for s := 1; s <= nSlaves; s++ {
+		if err := comm.Send(s, tagCollect, nil); err != nil {
+			return nil, err
+		}
+		m, err := comm.Recv(s, tagResult)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := parseSlaveReport(m.Data)
+		if err != nil {
+			return nil, err
+		}
+		res.Reports[rep.CellRank] = rep
+		if snap, err := profile.DecodeSnapshot(rep.Profile); err == nil {
+			prof.Merge(snap)
+		}
+		if rep.Aborted {
+			res.Aborted = true
+		}
+	}
+	for s := 1; s <= nSlaves; s++ {
+		if err := comm.Send(s, tagShutdown, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	// Reduction phase: return the best mixture overall.
+	best := 0
+	for i, r := range res.Reports {
+		if r.MixtureFitness < res.Reports[best].MixtureFitness {
+			best = i
+		}
+	}
+	res.BestCell = res.Reports[best].CellRank
+	res.Profile = prof.Snapshot()
+	res.Elapsed = time.Since(started)
+	logf("master: best cell %d (mixture fitness %.4f), elapsed %s",
+		res.BestCell, res.Reports[best].MixtureFitness, res.Elapsed.Round(time.Millisecond))
+	return res, nil
+}
+
+// SplitLocal derives the LOCAL communicator of §III-D from the WORLD
+// communicator: the sub-communicator of all slaves, used for the
+// per-iteration allgather without involving the master. Every rank of
+// comm must call it; the master (rank 0) receives nil.
+func SplitLocal(comm *mpi.Comm) (*mpi.Comm, error) {
+	color := 0
+	if comm.Rank() == 0 {
+		color = -1
+	}
+	return comm.Split(color, comm.Rank())
+}

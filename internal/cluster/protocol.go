@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"cellgan/internal/config"
+	"cellgan/internal/profile"
+)
+
+// Control-message tags on the WORLD communicator (master rank 0 ↔ slaves).
+const (
+	// tagNodeName: slave → master, the slave's (simulated) host name.
+	tagNodeName = 100
+	// tagRunTask: master → slave, the runTask payload; flips the slave
+	// from inactive to processing (Fig 2).
+	tagRunTask = 101
+	// tagStatus: heartbeat round trip — master sends an empty probe, the
+	// slave's main thread answers with its current state byte.
+	tagStatus = 102
+	// tagAbort: master → slave, cooperative stop (time limit exceeded).
+	tagAbort = 103
+	// tagCollect: master → slave, request the final report.
+	tagCollect = 104
+	// tagResult: slave → master, the slaveReport payload.
+	tagResult = 105
+	// tagShutdown: master → slave, terminate the main loop.
+	tagShutdown = 106
+)
+
+// SlaveState is the state machine of Fig 2.
+type SlaveState byte
+
+// Slave states and their transitions: inactive → processing on run task,
+// processing → finished after the last training iteration.
+const (
+	StateInactive SlaveState = iota
+	StateProcessing
+	StateFinished
+)
+
+// String renders the state name.
+func (s SlaveState) String() string {
+	switch s {
+	case StateInactive:
+		return "inactive"
+	case StateProcessing:
+		return "processing"
+	case StateFinished:
+		return "finished"
+	default:
+		return fmt.Sprintf("state(%d)", byte(s))
+	}
+}
+
+// runTask is the workload assignment a slave receives from the master.
+type runTask struct {
+	// Cfg is the full experiment configuration (Table I).
+	Cfg config.Config `json:"cfg"`
+	// CellRank is the grid cell this slave trains (slave i ↦ cell i-1).
+	CellRank int `json:"cell_rank"`
+	// Node is where the master placed this task.
+	Node string `json:"node"`
+	// Core is the core index assigned on the node.
+	Core int `json:"core"`
+}
+
+func (r runTask) marshal() ([]byte, error) { return json.Marshal(r) }
+
+func parseRunTask(data []byte) (runTask, error) {
+	var r runTask
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("cluster: parsing run task: %w", err)
+	}
+	if err := r.Cfg.Validate(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// SlaveReport is a slave's final result returned to the master.
+type SlaveReport struct {
+	// CellRank is the grid cell the slave trained.
+	CellRank int `json:"cell_rank"`
+	// Node echoes the placement for log correlation.
+	Node string `json:"node"`
+	// Iterations completed (may be short of the target when aborted).
+	Iterations int `json:"iterations"`
+	// Aborted reports whether the slave stopped on an abort consensus.
+	Aborted bool `json:"aborted"`
+	// MixtureFitness is the final mixture fitness (lower = better).
+	MixtureFitness float64 `json:"mixture_fitness"`
+	// MixtureRanks and MixtureWeights describe the returned mixture.
+	MixtureRanks   []int     `json:"mixture_ranks"`
+	MixtureWeights []float64 `json:"mixture_weights"`
+	// State is the marshalled core.CellState of the final centers.
+	State []byte `json:"state"`
+	// Profile is the slave's routine timing snapshot.
+	Profile []byte `json:"profile"`
+	// Error is non-empty when the slave's training failed; the control
+	// protocol still completes so the master can shut the job down.
+	Error string `json:"error,omitempty"`
+}
+
+func (r SlaveReport) marshal() ([]byte, error) { return json.Marshal(r) }
+
+func parseSlaveReport(data []byte) (SlaveReport, error) {
+	var r SlaveReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("cluster: parsing slave report: %w", err)
+	}
+	return r, nil
+}
+
+// Transition is one observed slave state change, the raw material of the
+// Fig 2 state diagram.
+type Transition struct {
+	Slave int
+	From  SlaveState
+	To    SlaveState
+	At    time.Time
+}
+
+// JobResult is the master's aggregate outcome of one training job.
+type JobResult struct {
+	// Reports holds one report per slave, ordered by cell rank.
+	Reports []SlaveReport
+	// BestCell is the grid rank whose mixture fitness is lowest.
+	BestCell int
+	// Aborted reports whether the job hit its time limit.
+	Aborted bool
+	// Elapsed is the wall-clock duration of the job.
+	Elapsed time.Duration
+	// Transitions is the observed slave state-machine trace.
+	Transitions []Transition
+	// Placements is the task → node/core assignment used.
+	Placements []Placement
+	// Profile is the merged routine profile across all slaves.
+	Profile map[string]profile.Stat
+	// Log is the master's event log (the Fig 3 flow trace).
+	Log []string
+}
+
+// Best returns the report of the winning cell.
+func (j *JobResult) Best() SlaveReport {
+	for _, r := range j.Reports {
+		if r.CellRank == j.BestCell {
+			return r
+		}
+	}
+	return SlaveReport{}
+}

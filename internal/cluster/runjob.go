@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"cellgan/internal/mpi"
+)
+
+// RunJob executes a complete master/slave training job inside one process:
+// an inproc MPI world of Cfg.NumTasks() ranks is created, rank 0 runs the
+// master and every other rank runs a slave. This is the one-call entry
+// point used by the trainer binary and the benchmarks; the cmd/cluster
+// binary wires the same two role functions over the TCP transport instead.
+func RunJob(opts MasterOptions) (*JobResult, error) {
+	if err := opts.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := opts.Cfg.NumTasks()
+	world, err := mpi.NewWorld(n)
+	if err != nil {
+		return nil, err
+	}
+	defer world.Close()
+
+	var res *JobResult
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for rank := 0; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs <- func() error {
+				comm, err := world.Comm(rank)
+				if err != nil {
+					return err
+				}
+				local, err := SplitLocal(comm)
+				if err != nil {
+					return err
+				}
+				if rank == 0 {
+					r, err := RunMaster(comm, opts)
+					if err != nil {
+						return err
+					}
+					res = r
+					return nil
+				}
+				return RunSlave(comm, local)
+			}()
+		}(rank)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if res == nil {
+		return nil, fmt.Errorf("cluster: job produced no result")
+	}
+	return res, nil
+}

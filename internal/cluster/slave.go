@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sync/atomic"
+
+	"cellgan/internal/core"
+	"cellgan/internal/mpi"
+	"cellgan/internal/profile"
+)
+
+// slave bundles the state shared between a slave's main (communication)
+// thread and its execution (training) thread — the two-thread structure of
+// §III-B and Fig 3 (right).
+type slave struct {
+	world *mpi.Comm
+	local *mpi.Comm
+
+	state atomic.Uint32
+	abort atomic.Bool
+
+	// done is closed by the execution thread when training completes;
+	// report holds the final result after that.
+	done   chan struct{}
+	report SlaveReport
+}
+
+func (s *slave) setState(st SlaveState) { s.state.Store(uint32(st)) }
+func (s *slave) currentState() SlaveState {
+	return SlaveState(s.state.Load())
+}
+
+// RunSlave executes the slave role on a non-zero rank of comm. local must
+// be the communicator returned by SplitLocal on this rank. The function
+// returns when the master sends the shutdown message.
+func RunSlave(comm *mpi.Comm, local *mpi.Comm) error {
+	if comm.Rank() == 0 {
+		return fmt.Errorf("cluster: RunSlave must not run on rank 0")
+	}
+	if local == nil {
+		return fmt.Errorf("cluster: RunSlave needs the LOCAL communicator")
+	}
+	s := &slave{world: comm, local: local, done: make(chan struct{})}
+	s.setState(StateInactive)
+
+	// Send this node's name to the master (Fig 3: "Send node name").
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = fmt.Sprintf("sim-node-%d", comm.Rank())
+	}
+	if err := comm.Send(0, tagNodeName, []byte(host)); err != nil {
+		return fmt.Errorf("cluster: sending node name: %w", err)
+	}
+
+	// Main thread: serve the control protocol.
+	for {
+		m, err := comm.Recv(0, mpi.AnyTag)
+		if err != nil {
+			return fmt.Errorf("cluster: slave %d control recv: %w", comm.Rank(), err)
+		}
+		switch m.Tag {
+		case tagRunTask:
+			task, err := parseRunTask(m.Data)
+			if err != nil {
+				return err
+			}
+			if s.currentState() != StateInactive {
+				return fmt.Errorf("cluster: slave %d got run task in state %s", comm.Rank(), s.currentState())
+			}
+			s.setState(StateProcessing)
+			// Launch the execution thread (Fig 3: "Create execution
+			// thread"); the main thread keeps serving heartbeats.
+			go s.execute(task)
+		case tagStatus:
+			if err := comm.Send(0, tagStatus, []byte{byte(s.currentState())}); err != nil {
+				return err
+			}
+		case tagAbort:
+			s.abort.Store(true)
+		case tagCollect:
+			<-s.done // training must be over before reporting
+			payload, err := s.report.marshal()
+			if err != nil {
+				return err
+			}
+			if err := comm.Send(0, tagResult, payload); err != nil {
+				return err
+			}
+		case tagShutdown:
+			return nil
+		default:
+			return fmt.Errorf("cluster: slave %d unexpected control tag %d", comm.Rank(), m.Tag)
+		}
+	}
+}
+
+// execute is the slave's execution thread: it assembles the grid, trains
+// the assigned cell, exchanging centers with neighbouring slaves on the
+// LOCAL communicator each iteration, and prepares the final report.
+func (s *slave) execute(task runTask) {
+	defer close(s.done)
+	defer s.setState(StateFinished)
+
+	prof := profile.New()
+	report := SlaveReport{CellRank: task.CellRank, Node: task.Node}
+	fail := func(err error) {
+		// Training failures surface through the report; the control
+		// protocol stays alive so the master can collect and shut down.
+		report.Error = err.Error()
+		report.MixtureFitness = inf()
+		s.report = report
+	}
+
+	g, err := core.BuildGridFor(task.Cfg)
+	if err != nil {
+		fail(err)
+		return
+	}
+	cell, err := core.NewCell(task.Cfg, task.CellRank, g, prof)
+	if err != nil {
+		fail(err)
+		return
+	}
+
+	// exchange allgathers centers on the LOCAL communicator with an
+	// abort-consensus byte: if any slave has seen the master's abort, all
+	// slaves observe it in the same round and stop together, keeping the
+	// collective call counts aligned.
+	exchange := func() (stop bool, err error) {
+		state, err := cell.State()
+		if err != nil {
+			return false, err
+		}
+		payload := append([]byte{abortByte(s.abort.Load())}, state.Marshal()...)
+		stopTimer := prof.Start(profile.RoutineGather)
+		parts, err := s.local.Allgather(payload)
+		stopTimer()
+		if err != nil {
+			return false, err
+		}
+		states := make(map[int]*core.CellState, len(parts))
+		anyAbort := false
+		for _, p := range parts {
+			if len(p) < 1 {
+				return false, fmt.Errorf("cluster: empty exchange payload")
+			}
+			if p[0] != 0 {
+				anyAbort = true
+			}
+			st, err := core.UnmarshalCellState(p[1:])
+			if err != nil {
+				return false, err
+			}
+			states[st.Rank] = st
+		}
+		if err := cell.SetNeighbors(states); err != nil {
+			return false, err
+		}
+		return anyAbort, nil
+	}
+
+	if stop, err := exchange(); err != nil {
+		fail(err)
+		return
+	} else if stop {
+		report.Aborted = true
+	}
+	var last core.IterStats
+	for iter := 0; iter < task.Cfg.Iterations && !report.Aborted; iter++ {
+		last, err = cell.Iterate()
+		if err != nil {
+			fail(err)
+			return
+		}
+		stop, err := exchange()
+		if err != nil {
+			fail(err)
+			return
+		}
+		if stop {
+			report.Aborted = true
+		}
+	}
+
+	finalState, err := cell.State()
+	if err != nil {
+		fail(err)
+		return
+	}
+	report.Iterations = cell.Iteration()
+	report.MixtureFitness = last.MixtureFitness
+	if cell.Iteration() == 0 {
+		// Aborted before any training: never the best mixture.
+		report.MixtureFitness = inf()
+	}
+	report.MixtureRanks = append([]int(nil), cell.Mixture().Ranks...)
+	report.MixtureWeights = append([]float64(nil), cell.Mixture().Weights...)
+	report.State = finalState.Marshal()
+	report.Profile = profile.EncodeSnapshot(prof.Snapshot())
+	s.report = report
+}
+
+func abortByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// inf is a large finite "never the best" fitness sentinel; real +Inf is
+// not JSON-encodable, which the report marshalling requires.
+func inf() float64 { return math.MaxFloat64 }

@@ -1,0 +1,174 @@
+package config
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDefaultMatchesTableI(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name string
+		got  interface{}
+		want interface{}
+	}{
+		{"network type", c.NetworkType, "MLP"},
+		{"input neurons", c.InputNeurons, 64},
+		{"hidden layers", c.HiddenLayers, 2},
+		{"neurons per hidden", c.NeuronsPerHidden, 256},
+		{"output neurons", c.OutputNeurons, 784},
+		{"activation", c.Activation, "tanh"},
+		{"iterations", c.Iterations, 200},
+		{"population size", c.PopulationSize, 1},
+		{"tournament size", c.TournamentSize, 2},
+		{"mixture scale", c.MixtureMutationScale, 0.01},
+		{"optimizer", c.Optimizer, "adam"},
+		{"lr", c.InitialLearningRate, 0.0002},
+		{"mutation rate", c.MutationRate, 0.0001},
+		{"mutation prob", c.MutationProbability, 0.5},
+		{"batch size", c.BatchSize, 100},
+		{"skip disc", c.SkipNDiscSteps, 1},
+		{"time limit", c.TimeLimit, 96 * time.Hour},
+		{"temp storage", c.TempStorageGB, 40},
+	}
+	for _, ck := range checks {
+		if ck.got != ck.want {
+			t.Errorf("%s = %v, want %v", ck.name, ck.got, ck.want)
+		}
+	}
+}
+
+func TestNumTasksMatchesTableII(t *testing.T) {
+	for _, tc := range []struct{ m, tasks int }{{2, 5}, {3, 10}, {4, 17}} {
+		c := Default().WithGrid(tc.m, tc.m)
+		if got := c.NumTasks(); got != tc.tasks {
+			t.Errorf("%d×%d: tasks %d want %d", tc.m, tc.m, got, tc.tasks)
+		}
+	}
+}
+
+func TestMemoryMBMatchesTableII(t *testing.T) {
+	// Table II: 9216, 18432 and 32768 MB for the three grids.
+	for _, tc := range []struct{ m, mb int }{{2, 9216}, {3, 18432}, {4, 32768}} {
+		if got := Default().WithGrid(tc.m, tc.m).MemoryMB(); got != tc.mb {
+			t.Errorf("%d×%d memory %d want %d", tc.m, tc.m, got, tc.mb)
+		}
+	}
+}
+
+func TestValidateCatchesBadValues(t *testing.T) {
+	mutations := map[string]func(*Config){
+		"net type":      func(c *Config) { c.NetworkType = "RNN" },
+		"cnn outputs":   func(c *Config) { c.NetworkType = "CNN"; c.OutputNeurons = 100 },
+		"neighbourhood": func(c *Config) { c.Neighborhood = "hex" },
+		"loss set":      func(c *Config) { c.LossSet = "bce,hinge" },
+		"loss mut prob": func(c *Config) { c.LossMutationProbability = -0.1 },
+		"input":         func(c *Config) { c.InputNeurons = 0 },
+		"hidden layers": func(c *Config) { c.HiddenLayers = -1 },
+		"hidden width":  func(c *Config) { c.NeuronsPerHidden = 0 },
+		"output":        func(c *Config) { c.OutputNeurons = -1 },
+		"activation":    func(c *Config) { c.Activation = "swish" },
+		"iterations":    func(c *Config) { c.Iterations = 0 },
+		"population":    func(c *Config) { c.PopulationSize = 2 },
+		"tournament":    func(c *Config) { c.TournamentSize = 0 },
+		"grid":          func(c *Config) { c.GridRows = 0 },
+		"mixture scale": func(c *Config) { c.MixtureMutationScale = -1 },
+		"optimizer":     func(c *Config) { c.Optimizer = "rmsprop" },
+		"lr":            func(c *Config) { c.InitialLearningRate = 0 },
+		"mutation rate": func(c *Config) { c.MutationRate = -0.1 },
+		"mutation prob": func(c *Config) { c.MutationProbability = 1.5 },
+		"batch":         func(c *Config) { c.BatchSize = 0 },
+		"skip disc":     func(c *Config) { c.SkipNDiscSteps = 0 },
+		"dataset":       func(c *Config) { c.DatasetSize = -5 },
+		"batches/iter":  func(c *Config) { c.BatchesPerIteration = -1 },
+	}
+	for name, mutate := range mutations {
+		c := Default()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	c := Default().WithGrid(3, 3)
+	c.Seed = 12345
+	data, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", got, c)
+	}
+}
+
+func TestUnmarshalRejectsInvalid(t *testing.T) {
+	if _, err := Unmarshal([]byte("{")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	bad := Default()
+	bad.BatchSize = 0
+	data, err := bad.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(data); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestNetworkSizes(t *testing.T) {
+	c := Default()
+	g := c.GeneratorSizes()
+	want := []int{64, 256, 256, 784}
+	if len(g) != len(want) {
+		t.Fatalf("generator sizes %v", g)
+	}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("generator sizes %v want %v", g, want)
+		}
+	}
+	d := c.DiscriminatorSizes()
+	wantD := []int{784, 256, 256, 1}
+	for i := range wantD {
+		if d[i] != wantD[i] {
+			t.Fatalf("discriminator sizes %v want %v", d, wantD)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	c := Default().Scaled(3, 8, 100)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Iterations != 3 || c.BatchSize != 8 || c.DatasetSize != 100 || c.BatchesPerIteration != 1 {
+		t.Fatalf("scaled %+v", c)
+	}
+}
+
+func TestTableIRows(t *testing.T) {
+	rows := Default().TableI()
+	if len(rows) != 20 {
+		t.Fatalf("TableI has %d rows", len(rows))
+	}
+	joined := ""
+	for _, r := range rows {
+		joined += r[0] + "=" + r[1] + ";"
+	}
+	for _, want := range []string{"Input neurons=64", "Batch size=100", "Grid size=2×2", "Number of tasks=5"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("TableI missing %q:\n%s", want, joined)
+		}
+	}
+}

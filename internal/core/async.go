@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cellgan/internal/config"
+	"cellgan/internal/grid"
+	"cellgan/internal/mpi"
+	"cellgan/internal/profile"
+)
+
+// asyncStateTag carries center snapshots between cells in the
+// asynchronous mode.
+const asyncStateTag = 17
+
+// RunAsync trains the grid with fully asynchronous cells, the execution
+// style §II-B describes: each cell iterates at its own pace, pushes its
+// updated center to the cells whose neighbourhoods contain it (its
+// influence set), and before each iteration absorbs whatever neighbour
+// updates have arrived — no barrier, no collective. Fast cells are never
+// held back by slow ones, at the cost of run-to-run nondeterminism
+// (neighbour staleness depends on scheduling).
+func RunAsync(cfg config.Config, opts RunOptions) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	prof := opts.Prof
+	if prof == nil {
+		prof = profile.New()
+	}
+	started := time.Now()
+	g, err := buildGrid(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := g.Size()
+	world, err := mpi.NewWorld(n)
+	if err != nil {
+		return nil, err
+	}
+	defer world.Close()
+
+	results := make([]CellResult, n)
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for rank := 0; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs <- asyncCellLoop(cfg, rank, g, world, prof, opts, results)
+		}(rank)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{Cfg: cfg, Cells: results}
+	finishResult(res, prof, started)
+	return res, nil
+}
+
+// asyncCellLoop is one rank's life in the asynchronous mode.
+func asyncCellLoop(cfg config.Config, rank int, g *grid.Grid, world *mpi.World,
+	prof *profile.Profiler, opts RunOptions, results []CellResult) error {
+	comm, err := world.Comm(rank)
+	if err != nil {
+		return err
+	}
+	cell, err := NewCellWithData(cfg, rank, g, prof, opts.Data)
+	if err != nil {
+		return err
+	}
+
+	// push sends this cell's current center to every cell whose
+	// neighbourhood includes it (grid.Influence); the messages are
+	// buffered, so no receiver needs to be ready.
+	push := func() error {
+		defer prof.Start(profile.RoutineGather)()
+		state, err := cell.State()
+		if err != nil {
+			return err
+		}
+		payload := state.Marshal()
+		for _, dst := range g.Influence(rank) {
+			if dst == rank {
+				continue
+			}
+			if err := comm.Send(dst, asyncStateTag, payload); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// absorb drains every pending neighbour update, applying only the
+	// newest snapshot per source rank.
+	absorb := func() error {
+		defer prof.Start(profile.RoutineGather)()
+		latest := map[int]*CellState{}
+		for {
+			ok, err := comm.Probe(mpi.AnySource, asyncStateTag)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			m, err := comm.Recv(mpi.AnySource, asyncStateTag)
+			if err != nil {
+				return err
+			}
+			s, err := UnmarshalCellState(m.Data)
+			if err != nil {
+				return err
+			}
+			if prev, dup := latest[s.Rank]; !dup || s.Iteration >= prev.Iteration {
+				latest[s.Rank] = s
+			}
+		}
+		for _, s := range latest {
+			if err := cell.UpdateNeighbor(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := push(); err != nil {
+		return err
+	}
+	var last IterStats
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		if err := absorb(); err != nil {
+			return err
+		}
+		last, err = cell.Iterate()
+		if err != nil {
+			return err
+		}
+		if opts.Progress != nil {
+			opts.Progress(rank, last)
+		}
+		if err := push(); err != nil {
+			return err
+		}
+	}
+	state, err := cell.State()
+	if err != nil {
+		return err
+	}
+	results[rank] = CellResult{
+		Rank:           rank,
+		State:          state,
+		MixtureRanks:   append([]int(nil), cell.mixture.Ranks...),
+		MixtureWeights: append([]float64(nil), cell.mixture.Weights...),
+		MixtureFitness: last.MixtureFitness,
+		Last:           last,
+	}
+	return nil
+}
+
+// ErrUnknownMode is returned by Run for an unrecognised mode name.
+var ErrUnknownMode = fmt.Errorf("core: unknown run mode")
+
+// Run dispatches to a training mode by name: "seq", "par" or "async".
+func Run(mode string, cfg config.Config, opts RunOptions) (*Result, error) {
+	switch mode {
+	case "seq":
+		return RunSequential(cfg, opts)
+	case "par":
+		return RunParallel(cfg, opts)
+	case "async":
+		return RunAsync(cfg, opts)
+	default:
+		return nil, fmt.Errorf("%w: %q (want seq, par or async)", ErrUnknownMode, mode)
+	}
+}

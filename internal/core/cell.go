@@ -1,0 +1,515 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cellgan/internal/config"
+	"cellgan/internal/dataset"
+	"cellgan/internal/grid"
+	"cellgan/internal/nn"
+	"cellgan/internal/profile"
+	"cellgan/internal/tensor"
+)
+
+// Cell is one grid cell: a center GAN, the sub-populations formed by its
+// neighbourhood's centers, the optimizers, and the generator mixture. In
+// the parallel implementation one Cell lives inside each slave process's
+// execution thread (§III-B).
+type Cell struct {
+	Cfg  config.Config
+	Rank int
+
+	grid *grid.Grid
+	src  dataset.Source
+	rng  *tensor.RNG
+	prof *profile.Profiler
+
+	gen  *Genome
+	disc *Genome
+
+	genOpt  nn.Optimizer
+	discOpt nn.Optimizer
+
+	// Neighbour center genomes keyed by grid rank; always includes this
+	// cell's own centers under its own rank.
+	genNbrs  map[int]*Genome
+	discNbrs map[int]*Genome
+
+	mixture *Mixture
+
+	loader    *dataset.Loader
+	evalReal  *tensor.Mat
+	iteration int
+	step      int
+
+	// restoredWeights holds checkpointed mixture weights awaiting the
+	// next exchange (see RestoreFull).
+	restoredWeights map[int]float64
+
+	// lossSet is the Mustangs loss pool the loss-gene mutation draws
+	// from; a single-element set reproduces plain Lipizzaner.
+	lossSet []GANLoss
+}
+
+// IterStats summarises one training iteration of a cell.
+type IterStats struct {
+	Iteration   int
+	GenLoss     float64
+	DiscLoss    float64
+	GenFitness  float64
+	DiscFitness float64
+	GenLR       float64
+	DiscLR      float64
+	// MixtureFitness is the accepted mixture fitness after the ES step.
+	MixtureFitness float64
+	// GenReplaced/DiscReplaced report whether selection adopted a
+	// neighbour's center this iteration.
+	GenReplaced  bool
+	DiscReplaced bool
+}
+
+// evalBatchSize is the fixed batch used for fitness evaluations.
+const evalBatchSize = 32
+
+// NewCell creates the cell for the given grid rank, training on the
+// default procedural dataset. Determinism: every random stream is derived
+// from (cfg.Seed, rank), so a cell behaves identically whether it runs
+// sequentially or as a parallel rank.
+func NewCell(cfg config.Config, rank int, g *grid.Grid, prof *profile.Profiler) (*Cell, error) {
+	return NewCellWithData(cfg, rank, g, prof, nil)
+}
+
+// NewCellWithData is NewCell with an explicit data source (e.g. real
+// MNIST loaded from IDX files); src == nil selects the procedural
+// dataset. With cfg.DataDieting the source is sharded so each cell sees a
+// disjoint 1/N slice.
+func NewCellWithData(cfg config.Config, rank int, g *grid.Grid, prof *profile.Profiler, src dataset.Source) (*Cell, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rank < 0 || rank >= g.Size() {
+		return nil, fmt.Errorf("core: rank %d outside grid of %d cells", rank, g.Size())
+	}
+	if cfg.OutputNeurons != dataset.Pixels {
+		return nil, fmt.Errorf("core: output neurons %d must match the dataset's %d pixels",
+			cfg.OutputNeurons, dataset.Pixels)
+	}
+	if prof == nil {
+		prof = profile.New()
+	}
+	rng := tensor.NewRNG(cfg.Seed ^ (uint64(rank)+1)*0x9e3779b97f4a7c15)
+	if src == nil {
+		ds := dataset.Train(cfg.Seed)
+		if cfg.DatasetSize > 0 {
+			ds = ds.WithSize(cfg.DatasetSize)
+		}
+		src = ds
+	}
+	if cfg.DataDieting {
+		shard, err := dataset.NewShard(src, rank, g.Size())
+		if err != nil {
+			return nil, err
+		}
+		if shard.Len() == 0 {
+			return nil, fmt.Errorf("core: data dieting leaves cell %d with no samples", rank)
+		}
+		src = shard
+	}
+	var optFor func(lr float64) nn.Optimizer
+	switch cfg.Optimizer {
+	case "sgd":
+		optFor = func(lr float64) nn.Optimizer { return nn.NewSGD(lr, 0.9) }
+	default:
+		optFor = func(lr float64) nn.Optimizer { return nn.NewAdam(lr) }
+	}
+
+	lossSet, err := ParseLossSet(cfg.LossSet)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cell{
+		Cfg:     cfg,
+		Rank:    rank,
+		grid:    g,
+		src:     src,
+		rng:     rng,
+		prof:    prof,
+		lossSet: lossSet,
+		gen:     &Genome{Net: BuildGenerator(cfg, rng), LR: cfg.InitialLearningRate, Loss: lossSet[0]},
+		disc:    &Genome{Net: BuildDiscriminator(cfg, rng), LR: cfg.InitialLearningRate, Loss: lossSet[0]},
+	}
+	c.genOpt = optFor(c.gen.LR)
+	c.discOpt = optFor(c.disc.LR)
+	c.loader = dataset.NewLoader(src, cfg.BatchSize, rng.Split())
+
+	// Fixed held-out real batch for fitness evaluation.
+	evalIdx := make([]int, evalBatchSize)
+	evalRNG := rng.Split()
+	for i := range evalIdx {
+		evalIdx[i] = evalRNG.Intn(src.Len())
+	}
+	c.evalReal, _ = dataset.BatchOf(src, evalIdx)
+
+	c.genNbrs = map[int]*Genome{rank: c.gen}
+	c.discNbrs = map[int]*Genome{rank: c.disc}
+	mix, err := NewMixture(map[int]*nn.Network{rank: c.gen.Net})
+	if err != nil {
+		return nil, err
+	}
+	c.mixture = mix
+	return c, nil
+}
+
+// Iteration returns the number of completed training iterations.
+func (c *Cell) Iteration() int { return c.iteration }
+
+// Neighborhood returns the grid ranks of this cell's sub-population.
+func (c *Cell) Neighborhood() []int { return c.grid.Neighborhood(c.Rank) }
+
+// State snapshots the cell's centers for neighbourhood exchange.
+func (c *Cell) State() (*CellState, error) {
+	gp, err := c.gen.Net.EncodeParams()
+	if err != nil {
+		return nil, err
+	}
+	dp, err := c.disc.Net.EncodeParams()
+	if err != nil {
+		return nil, err
+	}
+	return &CellState{
+		Rank:        c.Rank,
+		Iteration:   c.iteration,
+		GenLR:       c.gen.LR,
+		DiscLR:      c.disc.LR,
+		GenFitness:  c.gen.Fitness,
+		DiscFitness: c.disc.Fitness,
+		GenLoss:     c.gen.Loss,
+		DiscLoss:    c.disc.Loss,
+		GenParams:   gp,
+		DiscParams:  dp,
+	}, nil
+}
+
+// SetNeighbors installs the latest center snapshots of the cell's
+// neighbourhood (typically the result of the per-iteration allgather).
+// Snapshots for ranks outside the neighbourhood are ignored; the cell's
+// own rank always refers to its live centers.
+func (c *Cell) SetNeighbors(states map[int]*CellState) error {
+	nbSet := make(map[int]bool)
+	for _, r := range c.Neighborhood() {
+		nbSet[r] = true
+	}
+	genNbrs := map[int]*Genome{c.Rank: c.gen}
+	discNbrs := map[int]*Genome{c.Rank: c.disc}
+	for r, s := range states {
+		if r == c.Rank || !nbSet[r] {
+			continue
+		}
+		gen, disc, err := genomesFromState(c.Cfg, s)
+		if err != nil {
+			return err
+		}
+		genNbrs[r] = gen
+		discNbrs[r] = disc
+	}
+	c.genNbrs = genNbrs
+	c.discNbrs = discNbrs
+	gens := make(map[int]*nn.Network, len(genNbrs))
+	for r, g := range genNbrs {
+		gens[r] = g.Net
+	}
+	if err := c.mixture.UpdateMembers(gens); err != nil {
+		return err
+	}
+	c.applyRestoredWeights()
+	return nil
+}
+
+// UpdateNeighbor installs (or refreshes) a single neighbour's center
+// snapshot without touching the rest of the sub-population — the
+// incremental form used by the asynchronous training mode, where cells
+// absorb whatever updates have arrived rather than barriering on a full
+// exchange. States from ranks outside the neighbourhood are ignored.
+func (c *Cell) UpdateNeighbor(s *CellState) error {
+	if s.Rank == c.Rank {
+		return nil
+	}
+	inNb := false
+	for _, r := range c.Neighborhood() {
+		if r == s.Rank {
+			inNb = true
+			break
+		}
+	}
+	if !inNb {
+		return nil
+	}
+	gen, disc, err := genomesFromState(c.Cfg, s)
+	if err != nil {
+		return err
+	}
+	c.genNbrs[s.Rank] = gen
+	c.discNbrs[s.Rank] = disc
+	gens := make(map[int]*nn.Network, len(c.genNbrs))
+	for r, g := range c.genNbrs {
+		gens[r] = g.Net
+	}
+	if err := c.mixture.UpdateMembers(gens); err != nil {
+		return err
+	}
+	c.applyRestoredWeights()
+	return nil
+}
+
+// sortedRanks returns the keys of a genome map in ascending order, so all
+// iteration logic is deterministic.
+func sortedRanks(m map[int]*Genome) []int {
+	out := make([]int, 0, len(m))
+	for r := range m {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// mutateHyperparams applies the paper's Gaussian hyperparameter mutation:
+// with probability MutationProbability, perturb each center's learning
+// rate by N(0, MutationRate²), clamped to stay positive.
+func (c *Cell) mutateHyperparams() {
+	defer c.prof.Start(profile.RoutineMutate)()
+	mutate := func(g *Genome, opt nn.Optimizer) {
+		if c.rng.Float64() < c.Cfg.MutationProbability {
+			lr := g.LR + c.rng.NormFloat64()*c.Cfg.MutationRate
+			const minLR = 1e-8
+			if lr < minLR {
+				lr = minLR
+			}
+			g.LR = lr
+			opt.SetLearningRate(lr)
+		}
+		// Mustangs loss-function mutation: redraw the loss gene from the
+		// configured pool.
+		if len(c.lossSet) > 1 && c.rng.Float64() < c.Cfg.LossMutationProbability {
+			g.Loss = c.lossSet[c.rng.Intn(len(c.lossSet))]
+		}
+	}
+	mutate(c.gen, c.genOpt)
+	mutate(c.disc, c.discOpt)
+}
+
+// tournamentSelect picks the fittest of TournamentSize random members
+// (fitness = adversarial loss measured by eval, lower is better).
+func (c *Cell) tournamentSelect(pop map[int]*Genome, eval func(*Genome) float64) *Genome {
+	ranks := sortedRanks(pop)
+	best := pop[ranks[c.rng.Intn(len(ranks))]]
+	bestFit := eval(best)
+	for i := 1; i < c.Cfg.TournamentSize; i++ {
+		cand := pop[ranks[c.rng.Intn(len(ranks))]]
+		if f := eval(cand); f < bestFit {
+			best, bestFit = cand, f
+		}
+	}
+	return best
+}
+
+// discFitnessOn returns the discriminator's BCE loss on a real batch plus
+// fakes from the center generator (lower = fitter).
+func (c *Cell) discFitnessOn(d *Genome, real *tensor.Mat, fake *tensor.Mat) float64 {
+	logitsReal := d.Net.Forward(real)
+	ones := tensor.Full(logitsReal.Rows, 1, 1)
+	lossReal, _ := nn.BCEWithLogitsLoss(logitsReal, ones)
+	logitsFake := d.Net.Forward(fake)
+	zeros := tensor.New(logitsFake.Rows, 1)
+	lossFake, _ := nn.BCEWithLogitsLoss(logitsFake, zeros)
+	return (lossReal + lossFake) / 2
+}
+
+// genFitnessOn returns the generator's non-saturating loss against a
+// discriminator (lower = fitter: fakes fool the discriminator).
+func (c *Cell) genFitnessOn(g *Genome, d *Genome, z *tensor.Mat) float64 {
+	fake := g.Net.Forward(z)
+	logits := d.Net.Forward(fake)
+	ones := tensor.Full(logits.Rows, 1, 1)
+	loss, _ := nn.BCEWithLogitsLoss(logits, ones)
+	return loss
+}
+
+// latent draws an n×latentDim standard-normal batch.
+func (c *Cell) latent(n int) *tensor.Mat {
+	z := tensor.New(n, c.Cfg.InputNeurons)
+	tensor.GaussianFill(z, 0, 1, c.rng)
+	return z
+}
+
+// trainStep performs one adversarial mini-batch update of both centers
+// against tournament-selected opponents and returns (genLoss, discLoss).
+func (c *Cell) trainStep(real *tensor.Mat) (float64, float64) {
+	b := real.Rows
+
+	// --- Generator update against a selected discriminator ---
+	// The toughest opponent has the LOWEST discriminator loss; train the
+	// generator against the fittest discriminator in the sub-population.
+	fakeSel := c.gen.Net.Forward(c.latent(evalBatchSize))
+	dOpp := c.tournamentSelect(c.discNbrs, func(g *Genome) float64 {
+		return c.discFitnessOn(g, c.evalReal, fakeSel)
+	})
+	z := c.latent(b)
+	c.gen.Net.ZeroGrads()
+	dOpp.Net.ZeroGrads()
+	fake := c.gen.Net.Forward(z)
+	logits := dOpp.Net.Forward(fake)
+	genLoss, dLogits := generatorLoss(c.gen.Loss, logits)
+	dFake := dOpp.Net.Backward(dLogits)
+	dOpp.Net.ZeroGrads() // opponent is only a critic here
+	c.gen.Net.Backward(dFake)
+	if c.Cfg.GradClip > 0 {
+		nn.ClipGrads(c.gen.Net, c.Cfg.GradClip)
+	}
+	c.genOpt.Step(c.gen.Net)
+
+	// --- Discriminator update against a selected generator ---
+	var discLoss float64
+	if c.step%c.Cfg.SkipNDiscSteps == 0 {
+		zSel2 := c.latent(evalBatchSize)
+		gOpp := c.tournamentSelect(c.genNbrs, func(g *Genome) float64 {
+			return c.genFitnessOn(g, c.disc, zSel2)
+		})
+		z2 := c.latent(b)
+		fake2 := gOpp.Net.Forward(z2)
+
+		c.disc.Net.ZeroGrads()
+		logitsReal := c.disc.Net.Forward(real)
+		lossReal, gradReal := discHalfLoss(c.disc.Loss, logitsReal, 1)
+		c.disc.Net.Backward(gradReal)
+		logitsFake := c.disc.Net.Forward(fake2)
+		lossFake, gradFake := discHalfLoss(c.disc.Loss, logitsFake, 0)
+		c.disc.Net.Backward(gradFake)
+		if c.Cfg.GradClip > 0 {
+			nn.ClipGrads(c.disc.Net, c.Cfg.GradClip)
+		}
+		c.discOpt.Step(c.disc.Net)
+		if c.disc.Loss == LossWGAN {
+			clipWeights(c.disc.Net, wganClip)
+		}
+		discLoss = (lossReal + lossFake) / 2
+	}
+	c.step++
+	return genLoss, discLoss
+}
+
+// updateGenomes runs the selection/replacement phase: adopt the fittest
+// neighbour center when it beats the local one, refresh fitness values,
+// and advance the mixture weights by one (1+1)-ES step.
+func (c *Cell) updateGenomes() (stats IterStats) {
+	defer c.prof.Start(profile.RoutineUpdateGenomes)()
+
+	// Evaluate every generator in the sub-population against the center
+	// discriminator on a common latent batch.
+	z := c.latent(evalBatchSize)
+	bestGenRank := c.Rank
+	bestGenFit := c.genFitnessOn(c.gen, c.disc, z)
+	for _, r := range sortedRanks(c.genNbrs) {
+		if r == c.Rank {
+			continue
+		}
+		if f := c.genFitnessOn(c.genNbrs[r], c.disc, z); f < bestGenFit {
+			bestGenFit, bestGenRank = f, r
+		}
+	}
+	if bestGenRank != c.Rank {
+		adopted := c.genNbrs[bestGenRank]
+		if err := c.gen.Net.CopyParamsFrom(adopted.Net); err == nil {
+			c.gen.LR = adopted.LR
+			c.gen.Loss = adopted.Loss
+			c.genOpt.Reset()
+			c.genOpt.SetLearningRate(adopted.LR)
+			stats.GenReplaced = true
+		}
+	}
+	c.gen.Fitness = bestGenFit
+
+	// Same for discriminators, judged against the (possibly new) center
+	// generator.
+	fakeEval := c.gen.Net.Forward(c.latent(evalBatchSize))
+	bestDiscRank := c.Rank
+	bestDiscFit := c.discFitnessOn(c.disc, c.evalReal, fakeEval)
+	for _, r := range sortedRanks(c.discNbrs) {
+		if r == c.Rank {
+			continue
+		}
+		if f := c.discFitnessOn(c.discNbrs[r], c.evalReal, fakeEval); f < bestDiscFit {
+			bestDiscFit, bestDiscRank = f, r
+		}
+	}
+	if bestDiscRank != c.Rank {
+		adopted := c.discNbrs[bestDiscRank]
+		if err := c.disc.Net.CopyParamsFrom(adopted.Net); err == nil {
+			c.disc.LR = adopted.LR
+			c.disc.Loss = adopted.Loss
+			c.discOpt.Reset()
+			c.discOpt.SetLearningRate(adopted.LR)
+			stats.DiscReplaced = true
+		}
+	}
+	c.disc.Fitness = bestDiscFit
+
+	// (1+1)-ES on the mixture weights.
+	fit, _ := c.mixture.EvolveWeights(c.disc.Net, c.Cfg.MixtureMutationScale,
+		evalBatchSize, c.Cfg.InputNeurons, c.rng)
+	stats.MixtureFitness = fit
+	stats.GenFitness = c.gen.Fitness
+	stats.DiscFitness = c.disc.Fitness
+	return stats
+}
+
+// Iterate runs one full training iteration: hyperparameter mutation, the
+// adversarial training epoch, and the genome/mixture update. Neighbour
+// exchange is the caller's responsibility (it is a communication step).
+func (c *Cell) Iterate() (IterStats, error) {
+	c.mutateHyperparams()
+
+	batches := c.loader.BatchesPerEpoch()
+	if c.Cfg.BatchesPerIteration > 0 && c.Cfg.BatchesPerIteration < batches {
+		batches = c.Cfg.BatchesPerIteration
+	}
+	var genLoss, discLoss float64
+	stopTrain := c.prof.Start(profile.RoutineTrain)
+	for b := 0; b < batches; b++ {
+		real, _ := c.loader.Next()
+		gl, dl := c.trainStep(real)
+		genLoss += gl
+		discLoss += dl
+	}
+	stopTrain()
+
+	stats := c.updateGenomes()
+	c.iteration++
+	stats.Iteration = c.iteration
+	stats.GenLoss = genLoss / float64(batches)
+	stats.DiscLoss = discLoss / float64(batches)
+	stats.GenLR = c.gen.LR
+	stats.DiscLR = c.disc.LR
+	return stats, nil
+}
+
+// Mixture returns the cell's current generator mixture.
+func (c *Cell) Mixture() *Mixture { return c.mixture }
+
+// Generator returns the center generator network.
+func (c *Cell) Generator() *nn.Network { return c.gen.Net }
+
+// Discriminator returns the center discriminator network.
+func (c *Cell) Discriminator() *nn.Network { return c.disc.Net }
+
+// GenomeFitness returns the latest (generator, discriminator) fitnesses.
+func (c *Cell) GenomeFitness() (float64, float64) { return c.gen.Fitness, c.disc.Fitness }
+
+// LearningRates returns the current (generator, discriminator) learning
+// rates.
+func (c *Cell) LearningRates() (float64, float64) { return c.gen.LR, c.disc.LR }
+
+// GenerateSamples draws n images from the cell's mixture.
+func (c *Cell) GenerateSamples(n int) *tensor.Mat {
+	return c.mixture.Sample(n, c.Cfg.InputNeurons, c.rng.Split())
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cellgan/internal/tensor"
+)
+
+// Corrupted or adversarial byte streams from the network must produce
+// errors, never panics — slaves exchange states with peers every
+// iteration, so the decoders are a trust boundary.
+
+func TestUnmarshalCellStateNeverPanics(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = UnmarshalCellState(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalFullStateNeverPanics(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = UnmarshalFullState(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitFlippedStateRejectedOrConsistent(t *testing.T) {
+	// Flip every byte of a valid state one at a time: the decoder must
+	// either error out or produce a structurally valid state — never
+	// panic or return a state with mismatched parameter shapes.
+	cfg := tinyConfig()
+	rng := tensor.NewRNG(1)
+	gen := BuildGenerator(cfg, rng)
+	disc := BuildDiscriminator(cfg, rng)
+	gp, _ := gen.EncodeParams()
+	dp, _ := disc.EncodeParams()
+	s := &CellState{Rank: 1, GenParams: gp, DiscParams: dp}
+	good := s.Marshal()
+
+	// Sample positions across the stream (every 977th byte keeps the test
+	// fast while covering header, lengths and payload).
+	for pos := 0; pos < len(good); pos += 977 {
+		mutated := append([]byte(nil), good...)
+		mutated[pos] ^= 0xff
+		st, err := UnmarshalCellState(mutated)
+		if err != nil {
+			continue
+		}
+		// Decoded fine: the genome reconstruction must still either work
+		// or error; both are acceptable, panics are not.
+		_, _, _ = genomesFromState(cfg, st)
+	}
+}
+
+func TestTruncatedStatesAllPrefixesSafe(t *testing.T) {
+	cfg := tinyConfig()
+	rng := tensor.NewRNG(2)
+	gen := BuildGenerator(cfg, rng)
+	gp, _ := gen.EncodeParams()
+	s := &CellState{GenParams: gp, DiscParams: gp}
+	good := s.Marshal()
+	for n := 0; n < len(good); n += 509 {
+		if _, err := UnmarshalCellState(good[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"cellgan/internal/dataset"
+	"cellgan/internal/grid"
+)
+
+func TestCellWithCustomSource(t *testing.T) {
+	cfg := tinyConfig()
+	src := dataset.Materialize(dataset.Train(9), 40)
+	g := grid.MustNew(cfg.GridRows, cfg.GridCols)
+	cell, err := NewCellWithData(cfg, 0, g, nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cell.Iterate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithCustomSource(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Iterations = 1
+	src := dataset.Materialize(dataset.Train(9), 40)
+	res, err := RunParallel(cfg, RunOptions{Data: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != cfg.NumCells() {
+		t.Fatalf("cells %d", len(res.Cells))
+	}
+}
+
+func TestDataDietingShardsCells(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.DataDieting = true
+	cfg.DatasetSize = 40 // 4 cells → 10 samples each
+	g := grid.MustNew(cfg.GridRows, cfg.GridCols)
+	for rank := 0; rank < g.Size(); rank++ {
+		cell, err := NewCell(cfg, rank, g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh, ok := cell.src.(*dataset.Shard)
+		if !ok {
+			t.Fatalf("rank %d source is %T, want shard", rank, cell.src)
+		}
+		if sh.Len() != 10 {
+			t.Fatalf("rank %d shard has %d samples", rank, sh.Len())
+		}
+	}
+}
+
+func TestDataDietingTrainsEndToEnd(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.DataDieting = true
+	res, err := RunSequential(cfg, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		if c.Last.Iteration != cfg.Iterations {
+			t.Fatalf("cell %d at iteration %d", c.Rank, c.Last.Iteration)
+		}
+	}
+}
+
+func TestNeighborhoodConfig(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.GridRows, cfg.GridCols = 3, 3
+	for _, tc := range []struct {
+		name string
+		size int
+	}{{"", 5}, {"moore5", 5}, {"moore9", 9}, {"ring4", 4}} {
+		cfg.Neighborhood = tc.name
+		g, err := BuildGridFor(cfg)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.name, err)
+		}
+		if got := g.SubPopulationSize(4); got != tc.size {
+			t.Fatalf("%q: sub-population %d want %d", tc.name, got, tc.size)
+		}
+	}
+	cfg.Neighborhood = "hexagon"
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("bad neighbourhood accepted by config")
+	}
+}
+
+func TestRing4TrainingEndToEnd(t *testing.T) {
+	// Ring4 excludes the center from its own neighbourhood — training
+	// must still work because the cell's own genome is always part of
+	// its sub-population maps.
+	cfg := tinyConfig()
+	cfg.Neighborhood = "ring4"
+	cfg.Iterations = 1
+	res, err := RunSequential(cfg, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		if c.Last.Iteration != 1 {
+			t.Fatalf("cell %d did not train", c.Rank)
+		}
+	}
+}
+
+func TestDataDietingTooFewSamples(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.DataDieting = true
+	cfg.DatasetSize = 2 // fewer samples than cells
+	g := grid.MustNew(cfg.GridRows, cfg.GridCols)
+	if _, err := NewCell(cfg, 3, g, nil); err == nil {
+		t.Fatal("empty shard accepted")
+	}
+}

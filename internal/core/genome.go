@@ -1,0 +1,247 @@
+// Package core implements the paper's primary contribution: cellular
+// competitive coevolutionary training of two populations of GANs on a
+// toroidal grid (the Mustangs/Lipizzaner scheme of §II), together with the
+// two execution modes compared in the evaluation — a sequential
+// single-process mode and a parallel mode in which every cell is an MPI
+// rank exchanging center networks with its neighbourhood each iteration.
+//
+// Each grid cell holds a center generator and a center discriminator. One
+// training iteration performs (i) hyperparameter mutation of the Adam
+// learning rates, (ii) adversarial gradient training of the centers
+// against tournament-selected opponents from the neighbourhood
+// sub-population, (iii) selection/replacement of the centers from the
+// sub-population and a (1+1)-ES step on the generator mixture weights, and
+// (iv) an allgather exchange of updated centers with the neighbourhood.
+// These are exactly the four routines profiled in the paper's Table IV
+// (mutate, train, update genomes, gather).
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"cellgan/internal/config"
+	"cellgan/internal/nn"
+	"cellgan/internal/tensor"
+)
+
+// Genome is one evolvable individual: a network plus its evolvable
+// hyperparameter (the optimizer learning rate, per Table I).
+type Genome struct {
+	// Net is the network's parameters and architecture.
+	Net *nn.Network
+	// LR is the current (mutated) learning rate.
+	LR float64
+	// Fitness is the most recent fitness evaluation (lower is better:
+	// fitnesses are adversarial losses).
+	Fitness float64
+	// Loss is the adversarial objective this genome trains with — the
+	// Mustangs loss-function gene. LossBCE reproduces plain Lipizzaner.
+	Loss GANLoss
+}
+
+// Clone returns a deep copy of the genome.
+func (g *Genome) Clone() *Genome {
+	return &Genome{Net: g.Net.Clone(), LR: g.LR, Fitness: g.Fitness, Loss: g.Loss}
+}
+
+// hiddenLayerFor maps a config activation name to a layer constructor.
+func hiddenLayerFor(name string) func() nn.Layer {
+	switch name {
+	case "relu":
+		return func() nn.Layer { return nn.NewReLU() }
+	case "leaky_relu":
+		return func() nn.Layer { return nn.NewLeakyReLU(0.2) }
+	default: // "tanh", the Table I setting
+		return func() nn.Layer { return nn.NewTanh() }
+	}
+}
+
+// cnnChannels derives the DCGAN base channel count from the configured
+// hidden width so the CNN topology scales with the same knob as the MLP.
+func cnnChannels(cfg config.Config) int {
+	ch := cfg.NeuronsPerHidden / 16
+	if ch < 2 {
+		ch = 2
+	}
+	return ch
+}
+
+// BuildGenerator constructs the generator network. For the paper's "MLP"
+// network type it is latent → hidden^HiddenLayers → image with tanh
+// output. For "CNN" — the paper's future-work direction toward
+// higher-dimensional images — it is a DCGAN-style stack: a linear
+// projection to 2ch×7×7 followed by two stride-2 transposed convolutions
+// up to 28×28.
+func BuildGenerator(cfg config.Config, rng *tensor.RNG) *nn.Network {
+	if cfg.NetworkType == "CNN" {
+		ch := cnnChannels(cfg)
+		ct1, err := nn.NewConvTranspose2D(2*ch, 7, 7, ch, 4, 2, 1, rng)
+		if err != nil {
+			panic(err) // fixed geometry, cannot fail
+		}
+		ct2, err := nn.NewConvTranspose2D(ch, 14, 14, 1, 4, 2, 1, rng)
+		if err != nil {
+			panic(err)
+		}
+		return nn.NewNetwork(
+			nn.NewLinear(cfg.InputNeurons, 2*ch*7*7, rng), nn.NewTanh(),
+			ct1, nn.NewTanh(),
+			ct2, nn.NewTanh(),
+		)
+	}
+	return nn.MLP(cfg.GeneratorSizes(), hiddenLayerFor(cfg.Activation),
+		func() nn.Layer { return nn.NewTanh() }, rng)
+}
+
+// BuildDiscriminator constructs the discriminator network: for "MLP",
+// image → hidden^HiddenLayers → 1 raw logit; for "CNN", two stride-2
+// convolutions with leaky-ReLU down to 7×7 and a linear head (losses use
+// the numerically stable logit form of binary cross-entropy either way).
+func BuildDiscriminator(cfg config.Config, rng *tensor.RNG) *nn.Network {
+	if cfg.NetworkType == "CNN" {
+		ch := cnnChannels(cfg)
+		cv1, err := nn.NewConv2D(1, 28, 28, ch, 4, 2, 1, rng)
+		if err != nil {
+			panic(err)
+		}
+		cv2, err := nn.NewConv2D(ch, 14, 14, 2*ch, 4, 2, 1, rng)
+		if err != nil {
+			panic(err)
+		}
+		return nn.NewNetwork(
+			cv1, nn.NewLeakyReLU(0.2),
+			cv2, nn.NewLeakyReLU(0.2),
+			nn.NewLinear(2*ch*7*7, 1, rng),
+		)
+	}
+	return nn.MLP(cfg.DiscriminatorSizes(), hiddenLayerFor(cfg.Activation), nil, rng)
+}
+
+// CellState is the serialisable snapshot of a cell's center genomes — the
+// unit of neighbourhood communication. It is what the paper's slaves
+// allgather after every training iteration.
+type CellState struct {
+	// Rank is the grid cell (== MPI slave index) this state belongs to.
+	Rank int
+	// Iteration is the training iteration the snapshot was taken after.
+	Iteration int
+	// GenLR and DiscLR are the current learning rates.
+	GenLR, DiscLR float64
+	// GenFitness and DiscFitness are the latest fitness values.
+	GenFitness, DiscFitness float64
+	// GenLoss and DiscLoss are the Mustangs loss-function genes.
+	GenLoss, DiscLoss GANLoss
+	// GenParams and DiscParams are the encoded network parameters.
+	GenParams, DiscParams []byte
+}
+
+// stateMagic guards CellState decoding.
+const stateMagic = 0x43454c4c // "CELL"
+
+// Marshal serialises the state to a compact binary form.
+func (s *CellState) Marshal() []byte {
+	var buf bytes.Buffer
+	var u64 [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(u64[:], v)
+		buf.Write(u64[:])
+	}
+	put(stateMagic)
+	put(uint64(int64(s.Rank)))
+	put(uint64(int64(s.Iteration)))
+	put(math.Float64bits(s.GenLR))
+	put(math.Float64bits(s.DiscLR))
+	put(math.Float64bits(s.GenFitness))
+	put(math.Float64bits(s.DiscFitness))
+	put(uint64(s.GenLoss))
+	put(uint64(s.DiscLoss))
+	put(uint64(len(s.GenParams)))
+	buf.Write(s.GenParams)
+	put(uint64(len(s.DiscParams)))
+	buf.Write(s.DiscParams)
+	return buf.Bytes()
+}
+
+// UnmarshalCellState decodes a snapshot produced by Marshal.
+func UnmarshalCellState(data []byte) (*CellState, error) {
+	rd := bytes.NewReader(data)
+	var u64 [8]byte
+	get := func() (uint64, error) {
+		if _, err := rd.Read(u64[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(u64[:]), nil
+	}
+	magic, err := get()
+	if err != nil || magic != stateMagic {
+		return nil, fmt.Errorf("core: bad cell-state header")
+	}
+	s := &CellState{}
+	fields := []func(uint64){
+		func(v uint64) { s.Rank = int(int64(v)) },
+		func(v uint64) { s.Iteration = int(int64(v)) },
+		func(v uint64) { s.GenLR = math.Float64frombits(v) },
+		func(v uint64) { s.DiscLR = math.Float64frombits(v) },
+		func(v uint64) { s.GenFitness = math.Float64frombits(v) },
+		func(v uint64) { s.DiscFitness = math.Float64frombits(v) },
+		func(v uint64) { s.GenLoss = GANLoss(v) },
+		func(v uint64) { s.DiscLoss = GANLoss(v) },
+	}
+	for _, set := range fields {
+		v, err := get()
+		if err != nil {
+			return nil, fmt.Errorf("core: truncated cell state: %w", err)
+		}
+		set(v)
+	}
+	readBlob := func() ([]byte, error) {
+		n, err := get()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(rd.Len()) {
+			return nil, fmt.Errorf("core: blob length %d exceeds remaining %d", n, rd.Len())
+		}
+		b := make([]byte, n)
+		if n > 0 {
+			if _, err := rd.Read(b); err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
+	}
+	if s.GenParams, err = readBlob(); err != nil {
+		return nil, fmt.Errorf("core: generator params: %w", err)
+	}
+	if s.DiscParams, err = readBlob(); err != nil {
+		return nil, fmt.Errorf("core: discriminator params: %w", err)
+	}
+	if rd.Len() != 0 {
+		return nil, fmt.Errorf("core: %d trailing bytes in cell state", rd.Len())
+	}
+	return s, nil
+}
+
+// genomesFromState reconstructs the generator and discriminator genomes of
+// a snapshot using cfg to rebuild the architectures.
+func genomesFromState(cfg config.Config, s *CellState) (gen, disc *Genome, err error) {
+	// Seed is irrelevant: parameters are overwritten by the decode.
+	rng := tensor.NewRNG(0)
+	gNet := BuildGenerator(cfg, rng)
+	if err := gNet.DecodeParams(s.GenParams); err != nil {
+		return nil, nil, fmt.Errorf("core: decoding generator of rank %d: %w", s.Rank, err)
+	}
+	dNet := BuildDiscriminator(cfg, rng)
+	if err := dNet.DecodeParams(s.DiscParams); err != nil {
+		return nil, nil, fmt.Errorf("core: decoding discriminator of rank %d: %w", s.Rank, err)
+	}
+	if s.GenLoss >= numGANLosses || s.DiscLoss >= numGANLosses {
+		return nil, nil, fmt.Errorf("core: unknown loss gene in state of rank %d", s.Rank)
+	}
+	gen = &Genome{Net: gNet, LR: s.GenLR, Fitness: s.GenFitness, Loss: s.GenLoss}
+	disc = &Genome{Net: dNet, LR: s.DiscLR, Fitness: s.DiscFitness, Loss: s.DiscLoss}
+	return gen, disc, nil
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cellgan/internal/nn"
+	"cellgan/internal/tensor"
+)
+
+// Mixture is a weighted ensemble of generators — the generative model a
+// neighbourhood ultimately returns. Lipizzaner optimises the weights with
+// a (1+1)-ES whose mutation scale is the paper's "mixture mutation scale"
+// (Table I: 0.01).
+type Mixture struct {
+	// Ranks lists the sub-population members in ascending rank order.
+	Ranks []int
+	// Generators holds one generator per rank, aligned with Ranks.
+	Generators []*nn.Network
+	// Weights are the mixture coefficients, aligned with Ranks; they are
+	// non-negative and sum to 1.
+	Weights []float64
+}
+
+// NewMixture builds a uniform mixture over the given generators keyed by
+// rank.
+func NewMixture(gens map[int]*nn.Network) (*Mixture, error) {
+	if len(gens) == 0 {
+		return nil, fmt.Errorf("core: mixture needs at least one generator")
+	}
+	m := &Mixture{}
+	for r := range gens {
+		m.Ranks = append(m.Ranks, r)
+	}
+	sort.Ints(m.Ranks)
+	m.Generators = make([]*nn.Network, len(m.Ranks))
+	m.Weights = make([]float64, len(m.Ranks))
+	for i, r := range m.Ranks {
+		m.Generators[i] = gens[r]
+		m.Weights[i] = 1 / float64(len(m.Ranks))
+	}
+	return m, nil
+}
+
+// normalizeWeights projects w onto the probability simplex by clamping
+// negatives to zero and rescaling; an all-zero vector becomes uniform.
+func normalizeWeights(w []float64) {
+	sum := 0.0
+	for i, v := range w {
+		if v < 0 {
+			w[i] = 0
+		} else {
+			sum += v
+		}
+	}
+	if sum == 0 {
+		for i := range w {
+			w[i] = 1 / float64(len(w))
+		}
+		return
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+}
+
+// Sample draws n latent vectors and routes each through a generator chosen
+// according to the mixture weights, returning the n×Pixels batch.
+func (m *Mixture) Sample(n, latentDim int, rng *tensor.RNG) *tensor.Mat {
+	if n <= 0 {
+		return tensor.New(0, m.outputDim())
+	}
+	// Assign each sample to a component.
+	assign := make([]int, n)
+	counts := make([]int, len(m.Generators))
+	for i := range assign {
+		u := rng.Float64()
+		acc := 0.0
+		comp := len(m.Weights) - 1
+		for j, w := range m.Weights {
+			acc += w
+			if u < acc {
+				comp = j
+				break
+			}
+		}
+		assign[i] = comp
+		counts[comp]++
+	}
+	out := tensor.New(n, m.outputDim())
+	// Generate per component in one batch each.
+	offset := 0
+	starts := make([]int, len(m.Generators))
+	for j := range starts {
+		starts[j] = offset
+		offset += counts[j]
+	}
+	order := make([]int, n) // output row for each grouped sample
+	idx := append([]int(nil), starts...)
+	for i, comp := range assign {
+		order[idx[comp]] = i
+		idx[comp]++
+	}
+	for j, g := range m.Generators {
+		if counts[j] == 0 {
+			continue
+		}
+		z := tensor.New(counts[j], latentDim)
+		tensor.GaussianFill(z, 0, 1, rng)
+		imgs := g.Forward(z)
+		for k := 0; k < counts[j]; k++ {
+			copy(out.Row(order[starts[j]+k]), imgs.Row(k))
+		}
+	}
+	return out
+}
+
+func (m *Mixture) outputDim() int {
+	layers := m.Generators[0].Layers
+	// Walk backwards to the last layer that knows its output width
+	// (activations are shape-preserving).
+	for i := len(layers) - 1; i >= 0; i-- {
+		if sized, ok := layers[i].(nn.Sized); ok {
+			return sized.OutputWidth()
+		}
+	}
+	return 0
+}
+
+// Fitness scores the mixture against a discriminator: the non-saturating
+// generator loss of mixture samples (lower is better).
+func (m *Mixture) Fitness(disc *nn.Network, n, latentDim int, rng *tensor.RNG) float64 {
+	fake := m.Sample(n, latentDim, rng)
+	logits := disc.Forward(fake)
+	ones := tensor.Full(logits.Rows, logits.Cols, 1)
+	loss, _ := nn.BCEWithLogitsLoss(logits, ones)
+	return loss
+}
+
+// EvolveWeights performs one (1+1)-ES step: propose w' = Π(w + N(0, σ)),
+// accept if the proposal's fitness does not worsen. Returns the accepted
+// fitness and whether the proposal was accepted.
+func (m *Mixture) EvolveWeights(disc *nn.Network, sigma float64, n, latentDim int, rng *tensor.RNG) (float64, bool) {
+	// Evaluate parent and child on a common RNG-derived sample stream to
+	// reduce selection noise: each evaluation uses its own split.
+	parentFit := m.Fitness(disc, n, latentDim, rng.Split())
+	proposal := append([]float64(nil), m.Weights...)
+	for i := range proposal {
+		proposal[i] += rng.NormFloat64() * sigma
+	}
+	normalizeWeights(proposal)
+	old := m.Weights
+	m.Weights = proposal
+	childFit := m.Fitness(disc, n, latentDim, rng.Split())
+	if childFit <= parentFit {
+		return childFit, true
+	}
+	m.Weights = old
+	return parentFit, false
+}
+
+// UpdateMembers replaces the mixture's generator set, preserving weights
+// of ranks that persist and assigning new members the mean weight before
+// renormalising.
+func (m *Mixture) UpdateMembers(gens map[int]*nn.Network) error {
+	if len(gens) == 0 {
+		return fmt.Errorf("core: mixture needs at least one generator")
+	}
+	oldW := make(map[int]float64, len(m.Ranks))
+	for i, r := range m.Ranks {
+		oldW[r] = m.Weights[i]
+	}
+	mean := 1.0 / float64(len(gens))
+	m.Ranks = m.Ranks[:0]
+	for r := range gens {
+		m.Ranks = append(m.Ranks, r)
+	}
+	sort.Ints(m.Ranks)
+	m.Generators = make([]*nn.Network, len(m.Ranks))
+	m.Weights = make([]float64, len(m.Ranks))
+	for i, r := range m.Ranks {
+		m.Generators[i] = gens[r]
+		if w, ok := oldW[r]; ok {
+			m.Weights[i] = w
+		} else {
+			m.Weights[i] = mean
+		}
+	}
+	normalizeWeights(m.Weights)
+	return nil
+}

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cellgan/internal/config"
+	"cellgan/internal/dataset"
+	"cellgan/internal/grid"
+	"cellgan/internal/mpi"
+	"cellgan/internal/nn"
+	"cellgan/internal/profile"
+)
+
+// RunOptions tunes a training run.
+type RunOptions struct {
+	// Prof receives routine timings; nil allocates a private profiler.
+	Prof *profile.Profiler
+	// Progress, when non-nil, is invoked after every cell iteration. In
+	// parallel mode it is called concurrently from per-cell goroutines.
+	Progress func(rank int, stats IterStats)
+	// Resume, when non-nil, restores every cell from a checkpointed full
+	// state (one entry per grid rank, in rank order) before training;
+	// cells then run until cfg.Iterations. A resumed run is bit-identical
+	// to an uninterrupted one.
+	Resume []*FullState
+	// Data overrides the training data source (e.g. real MNIST loaded
+	// from IDX files); nil selects the procedural digit dataset.
+	Data dataset.Source
+}
+
+// restoreIfResuming applies the matching resume state to a fresh cell.
+func restoreIfResuming(cell *Cell, opts RunOptions, nCells int) error {
+	if opts.Resume == nil {
+		return nil
+	}
+	if len(opts.Resume) != nCells {
+		return fmt.Errorf("core: resume has %d states, grid has %d cells", len(opts.Resume), nCells)
+	}
+	st := opts.Resume[cell.Rank]
+	if st == nil {
+		return fmt.Errorf("core: resume state for cell %d is nil", cell.Rank)
+	}
+	if st.Cell.Iteration >= cell.Cfg.Iterations {
+		return fmt.Errorf("core: checkpoint already at iteration %d, config targets %d",
+			st.Cell.Iteration, cell.Cfg.Iterations)
+	}
+	return cell.RestoreFull(st)
+}
+
+// CellResult is the outcome of one cell after training.
+type CellResult struct {
+	Rank  int
+	State *CellState
+	// Final mixture composition (ranks + weights) and its fitness.
+	MixtureRanks   []int
+	MixtureWeights []float64
+	MixtureFitness float64
+	// Final per-iteration statistics.
+	Last IterStats
+}
+
+// Result is the outcome of a whole training run.
+type Result struct {
+	Cfg     config.Config
+	Cells   []CellResult
+	Elapsed time.Duration
+	Profile map[string]profile.Stat
+	// BestRank is the cell whose mixture achieved the lowest (best)
+	// fitness — the sub-population the method returns (§II-B).
+	BestRank int
+	// Full holds each cell's complete resumable state (one per rank),
+	// suitable for checkpointing; populated by the sequential and
+	// parallel runners.
+	Full []*FullState
+}
+
+// Best returns the best cell's result.
+func (r *Result) Best() CellResult { return r.Cells[r.BestRank] }
+
+// MixtureFor reconstructs the generator mixture of a cell from the stored
+// states, so callers can sample the returned generative model.
+func (r *Result) MixtureFor(rank int) (*Mixture, error) {
+	if rank < 0 || rank >= len(r.Cells) {
+		return nil, fmt.Errorf("core: rank %d out of range", rank)
+	}
+	cr := r.Cells[rank]
+	gens := make(map[int]*nn.Network, len(cr.MixtureRanks))
+	for _, mr := range cr.MixtureRanks {
+		if mr < 0 || mr >= len(r.Cells) {
+			return nil, fmt.Errorf("core: mixture member %d out of range", mr)
+		}
+		gen, _, err := genomesFromState(r.Cfg, r.Cells[mr].State)
+		if err != nil {
+			return nil, err
+		}
+		gens[mr] = gen.Net
+	}
+	m, err := NewMixture(gens)
+	if err != nil {
+		return nil, err
+	}
+	copy(m.Weights, cr.MixtureWeights)
+	return m, nil
+}
+
+// finishResult computes the best rank and attaches profiling.
+func finishResult(res *Result, prof *profile.Profiler, started time.Time) {
+	res.Elapsed = time.Since(started)
+	res.Profile = prof.Snapshot()
+	best := 0
+	for i, c := range res.Cells {
+		if c.MixtureFitness < res.Cells[best].MixtureFitness {
+			best = i
+		}
+	}
+	res.BestRank = best
+}
+
+// BuildGridFor constructs the toroidal grid for a configuration, applying
+// its neighbourhood pattern — used by every runner (including the cluster
+// slaves and the client-server baseline) so the topology is consistent
+// across execution modes.
+func BuildGridFor(cfg config.Config) (*grid.Grid, error) { return buildGrid(cfg) }
+
+// buildGrid constructs the toroidal grid for a configuration, applying
+// its neighbourhood pattern.
+func buildGrid(cfg config.Config) (*grid.Grid, error) {
+	g, err := grid.New(cfg.GridRows, cfg.GridCols)
+	if err != nil {
+		return nil, err
+	}
+	switch cfg.Neighborhood {
+	case "", "moore5":
+		// grid.New default.
+	case "moore9":
+		err = g.SetPattern(grid.Moore9)
+	case "ring4":
+		err = g.SetPattern(grid.Ring4)
+	default:
+		err = fmt.Errorf("core: unknown neighbourhood %q", cfg.Neighborhood)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// exchangeLocal distributes every cell's state to the cells whose
+// neighbourhood contains it, mirroring the allgather of the parallel mode
+// in shared memory.
+func exchangeLocal(cells []*Cell, prof *profile.Profiler) error {
+	defer prof.Start(profile.RoutineGather)()
+	states := make(map[int]*CellState, len(cells))
+	for _, c := range cells {
+		s, err := c.State()
+		if err != nil {
+			return err
+		}
+		states[c.Rank] = s
+	}
+	for _, c := range cells {
+		if err := c.SetNeighbors(states); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunSequential trains the grid in a single process, cells taking turns —
+// the paper's "single core" baseline of Table III. The communication
+// structure (per-iteration neighbourhood exchange) is preserved so the
+// algorithm is identical to the parallel mode.
+func RunSequential(cfg config.Config, opts RunOptions) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	prof := opts.Prof
+	if prof == nil {
+		prof = profile.New()
+	}
+	started := time.Now()
+	g, err := buildGrid(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]*Cell, g.Size())
+	for r := range cells {
+		cell, err := NewCellWithData(cfg, r, g, prof, opts.Data)
+		if err != nil {
+			return nil, err
+		}
+		if err := restoreIfResuming(cell, opts, g.Size()); err != nil {
+			return nil, err
+		}
+		cells[r] = cell
+	}
+	// Initial exchange so iteration 1 already sees the neighbourhood (and
+	// a resumed run re-sees it).
+	if err := exchangeLocal(cells, prof); err != nil {
+		return nil, err
+	}
+	lasts := make([]IterStats, len(cells))
+	for cells[0].Iteration() < cfg.Iterations {
+		for _, c := range cells {
+			stats, err := c.Iterate()
+			if err != nil {
+				return nil, err
+			}
+			lasts[c.Rank] = stats
+			if opts.Progress != nil {
+				opts.Progress(c.Rank, stats)
+			}
+		}
+		if err := exchangeLocal(cells, prof); err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{Cfg: cfg, Cells: make([]CellResult, len(cells)), Full: make([]*FullState, len(cells))}
+	for i, c := range cells {
+		state, err := c.State()
+		if err != nil {
+			return nil, err
+		}
+		full, err := c.FullState()
+		if err != nil {
+			return nil, err
+		}
+		res.Cells[i] = CellResult{
+			Rank:           c.Rank,
+			State:          state,
+			MixtureRanks:   append([]int(nil), c.mixture.Ranks...),
+			MixtureWeights: append([]float64(nil), c.mixture.Weights...),
+			MixtureFitness: lasts[i].MixtureFitness,
+			Last:           lasts[i],
+		}
+		res.Full[i] = full
+	}
+	finishResult(res, prof, started)
+	return res, nil
+}
+
+// RunParallel trains the grid with one goroutine per cell over an
+// in-process MPI world: each rank iterates independently and the ranks
+// exchange centers with a per-iteration allgather on the communicator —
+// the structure of the paper's slave processes on the LOCAL communicator.
+func RunParallel(cfg config.Config, opts RunOptions) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	prof := opts.Prof
+	if prof == nil {
+		prof = profile.New()
+	}
+	started := time.Now()
+	g, err := buildGrid(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := g.Size()
+	world, err := mpi.NewWorld(n)
+	if err != nil {
+		return nil, err
+	}
+	defer world.Close()
+
+	results := make([]CellResult, n)
+	fulls := make([]*FullState, n)
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for rank := 0; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs <- func() error {
+				comm, err := world.Comm(rank)
+				if err != nil {
+					return err
+				}
+				cell, err := NewCellWithData(cfg, rank, g, prof, opts.Data)
+				if err != nil {
+					return err
+				}
+				if err := restoreIfResuming(cell, opts, n); err != nil {
+					return err
+				}
+				exchange := func() error {
+					state, err := cell.State()
+					if err != nil {
+						return err
+					}
+					stop := prof.Start(profile.RoutineGather)
+					parts, err := comm.Allgather(state.Marshal())
+					stop()
+					if err != nil {
+						return err
+					}
+					states := make(map[int]*CellState, len(parts))
+					for _, p := range parts {
+						s, err := UnmarshalCellState(p)
+						if err != nil {
+							return err
+						}
+						states[s.Rank] = s
+					}
+					return cell.SetNeighbors(states)
+				}
+				if err := exchange(); err != nil {
+					return err
+				}
+				var last IterStats
+				for cell.Iteration() < cfg.Iterations {
+					last, err = cell.Iterate()
+					if err != nil {
+						return err
+					}
+					if opts.Progress != nil {
+						opts.Progress(rank, last)
+					}
+					if err := exchange(); err != nil {
+						return err
+					}
+				}
+				state, err := cell.State()
+				if err != nil {
+					return err
+				}
+				full, err := cell.FullState()
+				if err != nil {
+					return err
+				}
+				fulls[rank] = full
+				results[rank] = CellResult{
+					Rank:           rank,
+					State:          state,
+					MixtureRanks:   append([]int(nil), cell.mixture.Ranks...),
+					MixtureWeights: append([]float64(nil), cell.mixture.Weights...),
+					MixtureFitness: last.MixtureFitness,
+					Last:           last,
+				}
+				return nil
+			}()
+		}(rank)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{Cfg: cfg, Cells: results, Full: fulls}
+	finishResult(res, prof, started)
+	return res, nil
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"cellgan/internal/profile"
+	"cellgan/internal/tensor"
+)
+
+func TestRunSequentialSmoke(t *testing.T) {
+	cfg := tinyConfig()
+	prof := profile.New()
+	res, err := RunSequential(cfg, RunOptions{Prof: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != cfg.NumCells() {
+		t.Fatalf("cells %d", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.State == nil {
+			t.Fatalf("rank %d missing state", c.Rank)
+		}
+		if c.Last.Iteration != cfg.Iterations {
+			t.Fatalf("rank %d stopped at iteration %d", c.Rank, c.Last.Iteration)
+		}
+		if math.IsNaN(c.MixtureFitness) {
+			t.Fatalf("rank %d NaN mixture fitness", c.Rank)
+		}
+	}
+	if res.BestRank < 0 || res.BestRank >= len(res.Cells) {
+		t.Fatalf("best rank %d", res.BestRank)
+	}
+	for _, c := range res.Cells {
+		if c.MixtureFitness < res.Best().MixtureFitness {
+			t.Fatal("BestRank is not the minimum mixture fitness")
+		}
+	}
+	// All four paper routines must appear in the profile, including gather.
+	for _, r := range []string{profile.RoutineTrain, profile.RoutineMutate,
+		profile.RoutineUpdateGenomes, profile.RoutineGather} {
+		if prof.Get(r).Count == 0 {
+			t.Fatalf("routine %q missing from profile", r)
+		}
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("elapsed not recorded")
+	}
+}
+
+func TestRunParallelSmoke(t *testing.T) {
+	cfg := tinyConfig()
+	res, err := RunParallel(cfg, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != cfg.NumCells() {
+		t.Fatalf("cells %d", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Last.Iteration != cfg.Iterations {
+			t.Fatalf("rank %d at iteration %d", c.Rank, c.Last.Iteration)
+		}
+	}
+}
+
+func TestSequentialParallelEquivalence(t *testing.T) {
+	// The parallel implementation must compute the same result as the
+	// sequential baseline: same seeds, same exchange schedule, so the
+	// final parameters must match bit-for-bit.
+	cfg := tinyConfig()
+	cfg.Iterations = 3
+	seq, err := RunSequential(cfg, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunParallel(cfg, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range seq.Cells {
+		s, p := seq.Cells[r], par.Cells[r]
+		if s.Last.GenLoss != p.Last.GenLoss || s.Last.DiscLoss != p.Last.DiscLoss {
+			t.Fatalf("rank %d losses differ: %+v vs %+v", r, s.Last, p.Last)
+		}
+		if string(s.State.GenParams) != string(p.State.GenParams) {
+			t.Fatalf("rank %d generator params differ between modes", r)
+		}
+		if string(s.State.DiscParams) != string(p.State.DiscParams) {
+			t.Fatalf("rank %d discriminator params differ between modes", r)
+		}
+		if s.MixtureFitness != p.MixtureFitness {
+			t.Fatalf("rank %d mixture fitness %v vs %v", r, s.MixtureFitness, p.MixtureFitness)
+		}
+	}
+	if seq.BestRank != par.BestRank {
+		t.Fatalf("best rank differs: %d vs %d", seq.BestRank, par.BestRank)
+	}
+}
+
+func TestRunProgressCallback(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Iterations = 2
+	var mu sync.Mutex
+	calls := map[int]int{}
+	_, err := RunParallel(cfg, RunOptions{Progress: func(rank int, stats IterStats) {
+		mu.Lock()
+		calls[rank]++
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < cfg.NumCells(); r++ {
+		if calls[r] != cfg.Iterations {
+			t.Fatalf("rank %d progress called %d times", r, calls[r])
+		}
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Iterations = 0
+	if _, err := RunSequential(cfg, RunOptions{}); err == nil {
+		t.Fatal("sequential accepted bad config")
+	}
+	if _, err := RunParallel(cfg, RunOptions{}); err == nil {
+		t.Fatal("parallel accepted bad config")
+	}
+}
+
+func TestMixtureForReconstruction(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Iterations = 1
+	res, err := RunSequential(cfg, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := res.MixtureFor(res.BestRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Ranks) != len(res.Best().MixtureRanks) {
+		t.Fatalf("mixture size %d want %d", len(m.Ranks), len(res.Best().MixtureRanks))
+	}
+	out := m.Sample(4, cfg.InputNeurons, tensor.NewRNG(1))
+	if out.Rows != 4 || out.Cols != cfg.OutputNeurons {
+		t.Fatalf("reconstructed sample %d×%d", out.Rows, out.Cols)
+	}
+	if _, err := res.MixtureFor(-1); err == nil {
+		t.Fatal("bad rank accepted")
+	}
+}
+
+func TestTrainingImprovesGeneratorFitness(t *testing.T) {
+	// Over a handful of iterations on the tiny config the generator
+	// mixture fitness should drop below the untrained level.
+	cfg := tinyConfig()
+	cfg.Iterations = 8
+	cfg.BatchesPerIteration = 4
+	var mu sync.Mutex
+	var first, last float64
+	seen := false
+	_, err := RunSequential(cfg, RunOptions{Progress: func(rank int, s IterStats) {
+		if rank != 0 {
+			return
+		}
+		mu.Lock()
+		if !seen {
+			first = s.MixtureFitness
+			seen = true
+		}
+		last = s.MixtureFitness
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seen {
+		t.Fatal("no progress observed")
+	}
+	if math.IsNaN(first) || math.IsNaN(last) {
+		t.Fatalf("fitness NaN: %v -> %v", first, last)
+	}
+	if last > first*1.5+0.5 {
+		t.Fatalf("generator fitness diverged: %v -> %v", first, last)
+	}
+}

@@ -1,0 +1,66 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"cellgan/internal/tensor"
+)
+
+func BenchmarkRenderSample(b *testing.B) {
+	ds := Train(1)
+	buf := make([]float64, Pixels)
+	b.SetBytes(int64(8 * Pixels))
+	for i := 0; i < b.N; i++ {
+		ds.Render(i%ds.N, buf)
+	}
+}
+
+func BenchmarkBatch100(b *testing.B) {
+	ds := Train(1)
+	idx := make([]int, 100)
+	for i := range idx {
+		idx[i] = i
+	}
+	b.SetBytes(int64(8 * Pixels * 100))
+	for i := 0; i < b.N; i++ {
+		_, _ = ds.Batch(idx)
+	}
+}
+
+func BenchmarkLoaderNext(b *testing.B) {
+	l := NewLoader(Train(1).WithSize(1000), 100, tensor.NewRNG(1))
+	for i := 0; i < b.N; i++ {
+		_, _ = l.Next()
+	}
+}
+
+func BenchmarkIDXEncodeDecode(b *testing.B) {
+	m := Materialize(Train(1), 100)
+	var ref bytes.Buffer
+	if err := WriteIDXImages(&ref, m.Images); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(ref.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteIDXImages(&buf, m.Images); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadIDXImages(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShardRender(b *testing.B) {
+	sh, err := NewShard(Train(1), 1, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]float64, Pixels)
+	for i := 0; i < b.N; i++ {
+		sh.Render(i%sh.Len(), buf)
+	}
+}

@@ -1,0 +1,266 @@
+package dataset
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// IDX is the binary format of the original MNIST distribution
+// (yann.lecun.com/exdb/mnist): a magic declaring element type and rank,
+// big-endian dimension sizes, then raw data. This file implements enough
+// of it to round-trip image and label sets, so the reproduction can train
+// on the real MNIST files whenever they are available — the bridge back
+// to the paper's exact dataset.
+const (
+	idxMagicImages = 0x00000803 // uint8, rank 3 (n × rows × cols)
+	idxMagicLabels = 0x00000801 // uint8, rank 1
+	// maxIDXCount bounds plausible set sizes.
+	maxIDXCount = 10_000_000
+)
+
+// InMemory is a fully materialised image set implementing Source; it is
+// what IDX files load into, and what subsampling/sharding operate on.
+type InMemory struct {
+	// Images holds one flattened [-1,1] image per sample.
+	Images [][]float64
+	// Labels holds the aligned class labels.
+	Labels []int
+}
+
+// Len returns the number of samples.
+func (m *InMemory) Len() int { return len(m.Images) }
+
+// Label returns the class of sample i.
+func (m *InMemory) Label(i int) int { return m.Labels[i] }
+
+// Render copies sample i into dst.
+func (m *InMemory) Render(i int, dst []float64) {
+	if len(dst) != len(m.Images[i]) {
+		panic(fmt.Sprintf("dataset: Render buffer %d, image %d", len(dst), len(m.Images[i])))
+	}
+	copy(dst, m.Images[i])
+}
+
+// Validate checks structural consistency.
+func (m *InMemory) Validate() error {
+	if len(m.Images) != len(m.Labels) {
+		return fmt.Errorf("dataset: %d images but %d labels", len(m.Images), len(m.Labels))
+	}
+	for i, img := range m.Images {
+		if len(img) != Pixels {
+			return fmt.Errorf("dataset: image %d has %d pixels, want %d", i, len(img), Pixels)
+		}
+		if m.Labels[i] < 0 || m.Labels[i] >= NumClasses {
+			return fmt.Errorf("dataset: label %d out of range: %d", i, m.Labels[i])
+		}
+	}
+	return nil
+}
+
+// Materialize renders n samples of src into an InMemory set.
+func Materialize(src Source, n int) *InMemory {
+	if n > src.Len() {
+		n = src.Len()
+	}
+	m := &InMemory{Images: make([][]float64, n), Labels: make([]int, n)}
+	for i := 0; i < n; i++ {
+		img := make([]float64, Pixels)
+		src.Render(i, img)
+		m.Images[i] = img
+		m.Labels[i] = src.Label(i)
+	}
+	return m
+}
+
+// WriteIDXImages writes images in the MNIST image-file format; pixel
+// values are mapped from [-1, 1] to bytes 0-255.
+func WriteIDXImages(w io.Writer, images [][]float64) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint32{idxMagicImages, uint32(len(images)), Side, Side}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.BigEndian, v); err != nil {
+			return err
+		}
+	}
+	row := make([]byte, Pixels)
+	for i, img := range images {
+		if len(img) != Pixels {
+			return fmt.Errorf("dataset: image %d has %d pixels, want %d", i, len(img), Pixels)
+		}
+		for p, v := range img {
+			b := (v + 1) / 2 * 255
+			if b < 0 {
+				b = 0
+			} else if b > 255 {
+				b = 255
+			}
+			row[p] = byte(b + 0.5)
+		}
+		if _, err := bw.Write(row); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteIDXLabels writes labels in the MNIST label-file format.
+func WriteIDXLabels(w io.Writer, labels []int) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range []uint32{idxMagicLabels, uint32(len(labels))} {
+		if err := binary.Write(bw, binary.BigEndian, v); err != nil {
+			return err
+		}
+	}
+	for i, l := range labels {
+		if l < 0 || l > 255 {
+			return fmt.Errorf("dataset: label %d out of byte range: %d", i, l)
+		}
+		if err := bw.WriteByte(byte(l)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// maybeGunzip wraps r with a gzip reader when the stream starts with the
+// gzip magic — the MNIST site distributes .gz files.
+func maybeGunzip(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(2)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: empty IDX stream: %w", err)
+	}
+	if head[0] == 0x1f && head[1] == 0x8b {
+		return gzip.NewReader(br)
+	}
+	return br, nil
+}
+
+// ReadIDXImages parses an (optionally gzipped) MNIST image file, mapping
+// bytes 0-255 to pixel values in [-1, 1].
+func ReadIDXImages(r io.Reader) ([][]float64, error) {
+	rr, err := maybeGunzip(r)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [4]uint32
+	for i := range hdr {
+		if err := binary.Read(rr, binary.BigEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("dataset: IDX image header: %w", err)
+		}
+	}
+	if hdr[0] != idxMagicImages {
+		return nil, fmt.Errorf("dataset: bad IDX image magic %#08x", hdr[0])
+	}
+	n, rows, cols := int(hdr[1]), int(hdr[2]), int(hdr[3])
+	if n < 0 || n > maxIDXCount {
+		return nil, fmt.Errorf("dataset: implausible IDX image count %d", n)
+	}
+	if rows != Side || cols != Side {
+		return nil, fmt.Errorf("dataset: IDX images are %d×%d, want %d×%d", rows, cols, Side, Side)
+	}
+	out := make([][]float64, n)
+	buf := make([]byte, Pixels)
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(rr, buf); err != nil {
+			return nil, fmt.Errorf("dataset: IDX image %d: %w", i, err)
+		}
+		img := make([]float64, Pixels)
+		for p, b := range buf {
+			img[p] = float64(b)/255*2 - 1
+		}
+		out[i] = img
+	}
+	return out, nil
+}
+
+// ReadIDXLabels parses an (optionally gzipped) MNIST label file.
+func ReadIDXLabels(r io.Reader) ([]int, error) {
+	rr, err := maybeGunzip(r)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [2]uint32
+	for i := range hdr {
+		if err := binary.Read(rr, binary.BigEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("dataset: IDX label header: %w", err)
+		}
+	}
+	if hdr[0] != idxMagicLabels {
+		return nil, fmt.Errorf("dataset: bad IDX label magic %#08x", hdr[0])
+	}
+	n := int(hdr[1])
+	if n < 0 || n > maxIDXCount {
+		return nil, fmt.Errorf("dataset: implausible IDX label count %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(rr, buf); err != nil {
+		return nil, fmt.Errorf("dataset: IDX labels: %w", err)
+	}
+	out := make([]int, n)
+	for i, b := range buf {
+		out[i] = int(b)
+	}
+	return out, nil
+}
+
+// LoadIDX reads paired MNIST image and label files (plain or gzipped)
+// into an InMemory source — the entry point for training on real MNIST.
+func LoadIDX(imagesPath, labelsPath string) (*InMemory, error) {
+	imgF, err := os.Open(imagesPath)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer imgF.Close()
+	images, err := ReadIDXImages(imgF)
+	if err != nil {
+		return nil, err
+	}
+	lblF, err := os.Open(labelsPath)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer lblF.Close()
+	labels, err := ReadIDXLabels(lblF)
+	if err != nil {
+		return nil, err
+	}
+	m := &InMemory{Images: images, Labels: labels}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SaveIDX writes a source's first n samples as a paired MNIST-format
+// image/label file set.
+func SaveIDX(src Source, n int, imagesPath, labelsPath string) error {
+	m := Materialize(src, n)
+	imgF, err := os.Create(imagesPath)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	if err := WriteIDXImages(imgF, m.Images); err != nil {
+		imgF.Close()
+		return err
+	}
+	if err := imgF.Close(); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	lblF, err := os.Create(labelsPath)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	if err := WriteIDXLabels(lblF, m.Labels); err != nil {
+		lblF.Close()
+		return err
+	}
+	if err := lblF.Close(); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+package dataset
+
+import (
+	"bytes"
+	"compress/gzip"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"cellgan/internal/tensor"
+)
+
+func TestIDXImagesRoundTrip(t *testing.T) {
+	src := Train(5)
+	m := Materialize(src, 30)
+	var buf bytes.Buffer
+	if err := WriteIDXImages(&buf, m.Images); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIDXImages(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 30 {
+		t.Fatalf("decoded %d images", len(got))
+	}
+	// 8-bit quantisation: within 1/255 of the original scale (≈0.0079).
+	for i := range got {
+		for p := range got[i] {
+			if math.Abs(got[i][p]-m.Images[i][p]) > 2.0/255+1e-9 {
+				t.Fatalf("image %d pixel %d: %v vs %v", i, p, got[i][p], m.Images[i][p])
+			}
+		}
+	}
+}
+
+func TestIDXLabelsRoundTrip(t *testing.T) {
+	labels := []int{0, 1, 9, 5, 3}
+	var buf bytes.Buffer
+	if err := WriteIDXLabels(&buf, labels); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIDXLabels(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(labels) {
+		t.Fatalf("decoded %d labels", len(got))
+	}
+	for i := range labels {
+		if got[i] != labels[i] {
+			t.Fatalf("label %d: %d vs %d", i, got[i], labels[i])
+		}
+	}
+}
+
+func TestIDXGzipTransparent(t *testing.T) {
+	// MNIST ships gzipped; the reader must auto-detect.
+	labels := []int{7, 2, 1}
+	var plain bytes.Buffer
+	if err := WriteIDXLabels(&plain, labels); err != nil {
+		t.Fatal(err)
+	}
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(plain.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIDXLabels(&gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 7 {
+		t.Fatalf("gz labels %v", got)
+	}
+}
+
+func TestIDXErrors(t *testing.T) {
+	if _, err := ReadIDXImages(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	if _, err := ReadIDXImages(bytes.NewReader([]byte{0, 0, 8, 1, 0, 0, 0, 0})); err == nil {
+		t.Fatal("label magic accepted as images")
+	}
+	if _, err := ReadIDXLabels(bytes.NewReader([]byte{0, 0, 8, 3, 0, 0, 0, 0})); err == nil {
+		t.Fatal("image magic accepted as labels")
+	}
+	// Wrong geometry.
+	var buf bytes.Buffer
+	for _, v := range []byte{0, 0, 8, 3, 0, 0, 0, 1, 0, 0, 0, 14, 0, 0, 0, 14} {
+		buf.WriteByte(v)
+	}
+	buf.Write(make([]byte, 14*14))
+	if _, err := ReadIDXImages(&buf); err == nil {
+		t.Fatal("14×14 images accepted")
+	}
+	// Truncated body.
+	m := Materialize(Train(1), 2)
+	var img bytes.Buffer
+	if err := WriteIDXImages(&img, m.Images); err != nil {
+		t.Fatal(err)
+	}
+	trunc := img.Bytes()[:img.Len()-10]
+	if _, err := ReadIDXImages(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated images accepted")
+	}
+	if err := WriteIDXLabels(&bytes.Buffer{}, []int{-1}); err == nil {
+		t.Fatal("negative label accepted")
+	}
+	if err := WriteIDXImages(&bytes.Buffer{}, [][]float64{{1, 2}}); err == nil {
+		t.Fatal("short image accepted")
+	}
+}
+
+func TestSaveLoadIDXFiles(t *testing.T) {
+	dir := t.TempDir()
+	imgPath := filepath.Join(dir, "train-images-idx3-ubyte")
+	lblPath := filepath.Join(dir, "train-labels-idx1-ubyte")
+	if err := SaveIDX(Train(2), 25, imgPath, lblPath); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadIDX(imgPath, lblPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 25 {
+		t.Fatalf("loaded %d samples", m.Len())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Labels survive exactly.
+	for i := 0; i < 25; i++ {
+		if m.Label(i) != i%NumClasses {
+			t.Fatalf("label %d = %d", i, m.Label(i))
+		}
+	}
+	// Source interface: render and check range.
+	buf := make([]float64, Pixels)
+	m.Render(0, buf)
+	for _, v := range buf {
+		if v < -1 || v > 1 {
+			t.Fatalf("pixel out of range: %v", v)
+		}
+	}
+	if _, err := LoadIDX(filepath.Join(dir, "missing"), lblPath); err == nil {
+		t.Fatal("missing image file accepted")
+	}
+	if _, err := LoadIDX(imgPath, filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing label file accepted")
+	}
+}
+
+func TestInMemoryValidate(t *testing.T) {
+	bad := &InMemory{Images: [][]float64{make([]float64, Pixels)}, Labels: []int{0, 1}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("misaligned accepted")
+	}
+	bad = &InMemory{Images: [][]float64{make([]float64, 5)}, Labels: []int{0}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("short image accepted")
+	}
+	bad = &InMemory{Images: [][]float64{make([]float64, Pixels)}, Labels: []int{12}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad label accepted")
+	}
+}
+
+func TestInMemoryWorksWithLoader(t *testing.T) {
+	m := Materialize(Train(3), 20)
+	l := NewLoader(m, 8, tensor.NewRNG(99))
+	x, labels := l.Next()
+	if x.Rows != 8 || len(labels) != 8 {
+		t.Fatalf("batch %d/%d", x.Rows, len(labels))
+	}
+}
+
+func TestShardPartitionsSource(t *testing.T) {
+	src := Train(4).WithSize(23)
+	stride := 4
+	covered := map[int]bool{}
+	total := 0
+	for off := 0; off < stride; off++ {
+		sh, err := NewShard(src, off, stride)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += sh.Len()
+		for i := 0; i < sh.Len(); i++ {
+			idx := off + i*stride
+			if covered[idx] {
+				t.Fatalf("index %d in two shards", idx)
+			}
+			covered[idx] = true
+			if sh.Label(i) != src.Label(idx) {
+				t.Fatalf("shard label mismatch at %d", idx)
+			}
+		}
+	}
+	if total != src.Len() {
+		t.Fatalf("shards cover %d of %d", total, src.Len())
+	}
+}
+
+func TestShardRenderMatchesSource(t *testing.T) {
+	src := Train(4).WithSize(10)
+	sh, err := NewShard(src, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]float64, Pixels)
+	b := make([]float64, Pixels)
+	sh.Render(2, a)  // shard index 2 = source index 1+2*3 = 7
+	src.Render(7, b) //
+	for p := range a {
+		if a[p] != b[p] {
+			t.Fatal("shard render differs from source")
+		}
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	src := Train(1).WithSize(5)
+	if _, err := NewShard(src, 0, 0); err == nil {
+		t.Fatal("zero stride accepted")
+	}
+	if _, err := NewShard(src, 3, 3); err == nil {
+		t.Fatal("offset == stride accepted")
+	}
+	sh, err := NewShard(src, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Len() != 1 {
+		t.Fatalf("sparse shard len %d", sh.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range shard index did not panic")
+		}
+	}()
+	sh.Label(1)
+}

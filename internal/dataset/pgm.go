@@ -1,0 +1,57 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePGM writes a [-1,1]-normalised image of the given side length to w
+// in the plain-text PGM (P2) format, viewable by most image tools.
+func WritePGM(w io.Writer, img []float64, side int) error {
+	if len(img) != side*side {
+		return fmt.Errorf("dataset: image length %d does not match side %d", len(img), side)
+	}
+	if _, err := fmt.Fprintf(w, "P2\n%d %d\n255\n", side, side); err != nil {
+		return err
+	}
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			v := (img[y*side+x] + 1) / 2 * 255
+			if v < 0 {
+				v = 0
+			} else if v > 255 {
+				v = 255
+			}
+			sep := " "
+			if x == side-1 {
+				sep = "\n"
+			}
+			if _, err := fmt.Fprintf(w, "%d%s", int(v+0.5), sep); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ASCIIArt renders a [-1,1]-normalised image as a string using a density
+// ramp, for quick terminal inspection of generated digits.
+func ASCIIArt(img []float64, side int) string {
+	ramp := " .:-=+*#%@"
+	var b strings.Builder
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			v := (img[y*side+x] + 1) / 2
+			idx := int(v * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			} else if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

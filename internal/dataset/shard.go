@@ -1,0 +1,47 @@
+package dataset
+
+import "fmt"
+
+// Shard is a strided view of a source: samples offset, offset+stride,
+// offset+2·stride, … It implements the "data dieting" scheme of Toutouh
+// et al. (the paper's reference [20]): each grid cell trains on a
+// disjoint subset of the data, cutting per-cell data volume while the
+// neighbourhood exchange keeps the population's coverage complete.
+type Shard struct {
+	src    Source
+	offset int
+	stride int
+}
+
+// NewShard returns the shard of src with the given offset and stride.
+func NewShard(src Source, offset, stride int) (*Shard, error) {
+	if stride <= 0 {
+		return nil, fmt.Errorf("dataset: shard stride %d must be positive", stride)
+	}
+	if offset < 0 || offset >= stride {
+		return nil, fmt.Errorf("dataset: shard offset %d must be in [0,%d)", offset, stride)
+	}
+	return &Shard{src: src, offset: offset, stride: stride}, nil
+}
+
+// Len returns the number of samples in the shard.
+func (s *Shard) Len() int {
+	n := s.src.Len() - s.offset
+	if n <= 0 {
+		return 0
+	}
+	return (n + s.stride - 1) / s.stride
+}
+
+func (s *Shard) index(i int) int {
+	if i < 0 || i >= s.Len() {
+		panic(fmt.Sprintf("dataset: shard index %d out of range [0,%d)", i, s.Len()))
+	}
+	return s.offset + i*s.stride
+}
+
+// Label returns the class of shard sample i.
+func (s *Shard) Label(i int) int { return s.src.Label(s.index(i)) }
+
+// Render rasterises shard sample i into dst.
+func (s *Shard) Render(i int, dst []float64) { s.src.Render(s.index(i), dst) }

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cellgan/internal/config"
+)
+
+func TestTableIContainsPaperSettings(t *testing.T) {
+	out := TableI(config.Default())
+	for _, want := range []string{"Table I", "Input neurons", "64", "tanh", "0.0002", "Batch size", "100"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableIIMatchesPaperTaskCounts(t *testing.T) {
+	out, err := TableII([]int{2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"2×2", "3×3", "4×4", "5", "10", "17"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table II missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableIIIShowsSpeedups(t *testing.T) {
+	out, err := TableIII([]int{2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Model speedups close to the paper's 8.53 / 13.65 / 15.17.
+	for _, want := range []string{"8.5", "13.1", "15.1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table III missing speedup %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableIVShowsRoutines(t *testing.T) {
+	out, err := TableIV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"gather", "train", "update genomes", "mutate", "overall", "1.00", "6.05", "11.87"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table IV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig1ShowsOverlappingNeighborhoods(t *testing.T) {
+	out := Fig1()
+	if strings.Count(out, " C ") != 2 {
+		t.Fatalf("want two centers:\n%s", out)
+	}
+	if strings.Count(out, " N ") != 8 {
+		t.Fatalf("want 8 neighbours total:\n%s", out)
+	}
+}
+
+func TestFig2TraceReachesFinished(t *testing.T) {
+	out, err := Fig2(TinyJobConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[inactive]") || !strings.Contains(out, "[processing]") || !strings.Contains(out, "[finished]") {
+		t.Fatalf("static diagram incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "-> finished") {
+		t.Fatalf("no observed finished transition:\n%s", out)
+	}
+}
+
+func TestFig3LogCoversFlow(t *testing.T) {
+	out, err := Fig3(TinyJobConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"gathered", "placed", "run task", "collecting results", "best cell"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig 3 log missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig4RendersBars(t *testing.T) {
+	out, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"train", "gather", "#", "min"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig 4 missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "overall") {
+		t.Fatal("Fig 4 should not chart the overall row")
+	}
+}
+
+func TestMeasureScalingRunsBothModes(t *testing.T) {
+	rows, err := MeasureScaling(TinyJobConfig(), []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Grid != "2×2" {
+		t.Fatalf("rows %+v", rows)
+	}
+	if rows[0].Sequential <= 0 || rows[0].Parallel <= 0 || rows[0].Speedup <= 0 {
+		t.Fatalf("invalid measurements %+v", rows[0])
+	}
+}
+
+func TestMeasuredTablesRender(t *testing.T) {
+	out, err := MeasuredScalingTable(TinyJobConfig(), []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "2×2") {
+		t.Fatalf("measured scaling:\n%s", out)
+	}
+	out, err = MeasuredProfileTable(TinyJobConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"gather", "train", "update genomes", "mutate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("measured profile missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllProducesEveryArtefact(t *testing.T) {
+	out, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table I", "Table II", "Table III", "Table IV", "Fig 1", "Fig 2", "Fig 3", "Fig 4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("All() missing %q", want)
+		}
+	}
+}

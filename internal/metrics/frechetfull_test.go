@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"cellgan/internal/tensor"
+)
+
+func TestFrechetFullIdenticalZero(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	a := tensor.New(200, 6)
+	tensor.GaussianFill(a, 0, 1, rng)
+	fd, err := FrechetFull(a, a.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fd) > 1e-6 {
+		t.Fatalf("identical FD = %v", fd)
+	}
+}
+
+func TestFrechetFullPureMeanShift(t *testing.T) {
+	// Same covariance, mean shifted by v: FD = ‖v‖².
+	rng := tensor.NewRNG(2)
+	a := tensor.New(500, 3)
+	tensor.GaussianFill(a, 0, 1, rng)
+	b := a.Clone()
+	shift := []float64{1, -2, 0.5}
+	want := 0.0
+	for i := 0; i < b.Rows; i++ {
+		row := b.Row(i)
+		for j, s := range shift {
+			row[j] += s
+		}
+	}
+	for _, s := range shift {
+		want += s * s
+	}
+	fd, err := FrechetFull(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fd-want) > 1e-9 {
+		t.Fatalf("FD = %v want %v", fd, want)
+	}
+}
+
+func TestFrechetFullMatchesDiagOnUncorrelated(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	a := tensor.New(3000, 3)
+	tensor.GaussianFill(a, 0, 1, rng)
+	b := tensor.New(3000, 3)
+	tensor.GaussianFill(b, 0.3, 1.5, rng)
+	full, err := FrechetFull(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err := FrechetDiag(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With independent dimensions the two estimators agree up to
+	// finite-sample correlation noise.
+	if math.Abs(full-diag) > 0.1*(1+diag) {
+		t.Fatalf("full %v vs diag %v on uncorrelated data", full, diag)
+	}
+}
+
+func TestFrechetFullSeesCorrelationDiagMisses(t *testing.T) {
+	// Two zero-mean distributions with identical per-dimension variances
+	// but opposite correlation: diagonal FID ≈ 0, full FID > 0.
+	rng := tensor.NewRNG(4)
+	n := 4000
+	a := tensor.New(n, 2)
+	b := tensor.New(n, 2)
+	for i := 0; i < n; i++ {
+		x := rng.NormFloat64()
+		noiseA := rng.NormFloat64() * 0.1
+		noiseB := rng.NormFloat64() * 0.1
+		a.Set(i, 0, x)
+		a.Set(i, 1, x+noiseA) // strongly positively correlated
+		y := rng.NormFloat64()
+		b.Set(i, 0, y)
+		b.Set(i, 1, -y+noiseB) // strongly negatively correlated
+	}
+	full, err := FrechetFull(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err := FrechetDiag(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full < 10*math.Max(diag, 0.01) {
+		t.Fatalf("full FID %v should dwarf diagonal %v on correlation flip", full, diag)
+	}
+}
+
+func TestFrechetFullOrdersDistance(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	real := tensor.New(300, 4)
+	tensor.GaussianFill(real, 0, 1, rng)
+	close := tensor.New(300, 4)
+	tensor.GaussianFill(close, 0.1, 1, rng)
+	far := tensor.New(300, 4)
+	tensor.GaussianFill(far, 2, 0.3, rng)
+	fdClose, err := FrechetFull(real, close)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fdFar, err := FrechetFull(real, far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fdClose >= fdFar {
+		t.Fatalf("ordering broken: close %v far %v", fdClose, fdFar)
+	}
+}
+
+func TestFrechetFullValidation(t *testing.T) {
+	if _, err := FrechetFull(tensor.New(5, 2), tensor.New(5, 3)); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if _, err := FrechetFull(tensor.New(1, 2), tensor.New(5, 2)); err == nil {
+		t.Fatal("single sample accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package mpi
+
+import "fmt"
+
+// CartComm overlays a periodic two-dimensional Cartesian topology on a
+// communicator, mirroring MPI_CART_CREATE — the optimisation the paper
+// suggests for mapping grid coordinates onto slave ranks (§III-A). Rank r
+// sits at (r / cols, r % cols) and the torus wraps in both dimensions.
+type CartComm struct {
+	*Comm
+	rows, cols int
+}
+
+// CartCreate builds the topology; the communicator size must equal
+// rows*cols.
+func CartCreate(c *Comm, rows, cols int) (*CartComm, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("mpi: cartesian dims must be positive, got %d×%d", rows, cols)
+	}
+	if rows*cols != c.Size() {
+		return nil, fmt.Errorf("mpi: cartesian dims %d×%d need %d processes, communicator has %d",
+			rows, cols, rows*cols, c.Size())
+	}
+	return &CartComm{Comm: c, rows: rows, cols: cols}, nil
+}
+
+// Dims returns the (rows, cols) extents of the topology.
+func (cc *CartComm) Dims() (rows, cols int) { return cc.rows, cc.cols }
+
+// Coords returns the Cartesian coordinates of a rank.
+func (cc *CartComm) Coords(rank int) (row, col int, err error) {
+	if err := cc.checkRank(rank, "cartesian"); err != nil {
+		return 0, 0, err
+	}
+	return rank / cc.cols, rank % cc.cols, nil
+}
+
+// CartRank returns the rank at the (periodically wrapped) coordinates.
+func (cc *CartComm) CartRank(row, col int) int {
+	r := row % cc.rows
+	if r < 0 {
+		r += cc.rows
+	}
+	c := col % cc.cols
+	if c < 0 {
+		c += cc.cols
+	}
+	return r*cc.cols + c
+}
+
+// Shift returns the (source, destination) ranks for a displacement along
+// dim (0 = rows, 1 = cols), as MPI_Cart_shift with periodic boundaries:
+// src is the rank that would send to this process, dst the rank this
+// process would send to.
+func (cc *CartComm) Shift(dim, disp int) (src, dst int, err error) {
+	row, col, err := cc.Coords(cc.Rank())
+	if err != nil {
+		return 0, 0, err
+	}
+	switch dim {
+	case 0:
+		return cc.CartRank(row-disp, col), cc.CartRank(row+disp, col), nil
+	case 1:
+		return cc.CartRank(row, col-disp), cc.CartRank(row, col+disp), nil
+	default:
+		return 0, 0, fmt.Errorf("mpi: cartesian dim %d out of range [0,2)", dim)
+	}
+}
+
+// NeighborRanks returns the four cardinal neighbours (N, W, E, S) of this
+// process on the torus, in that order.
+func (cc *CartComm) NeighborRanks() [4]int {
+	row, col, _ := cc.Coords(cc.Rank())
+	return [4]int{
+		cc.CartRank(row-1, col),
+		cc.CartRank(row, col-1),
+		cc.CartRank(row, col+1),
+		cc.CartRank(row+1, col),
+	}
+}

@@ -1,0 +1,229 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestIsendIrecvRoundTrip(t *testing.T) {
+	runRanks(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			req := c.Isend(1, 3, []byte("async"))
+			_, err := req.Wait()
+			return err
+		}
+		req := c.Irecv(0, 3)
+		m, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		if string(m.Data) != "async" || m.Src != 0 {
+			return fmt.Errorf("got %+v", m)
+		}
+		return nil
+	})
+}
+
+func TestIrecvBeforeSend(t *testing.T) {
+	// Posting the receive first must not lose the message.
+	runRanks(t, 2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			req := c.Irecv(0, 9)
+			// Give the send time to land after the receive is posted.
+			m, err := req.Wait()
+			if err != nil {
+				return err
+			}
+			if string(m.Data) != "later" {
+				return fmt.Errorf("got %q", m.Data)
+			}
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+		return c.Send(1, 9, []byte("later"))
+	})
+}
+
+func TestIsendDoesNotAliasBuffer(t *testing.T) {
+	runRanks(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []byte("orig")
+			req := c.Isend(1, 1, buf)
+			buf[0] = 'X'
+			_, err := req.Wait()
+			return err
+		}
+		m, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if string(m.Data) != "orig" {
+			return fmt.Errorf("buffer aliased: %q", m.Data)
+		}
+		return nil
+	})
+}
+
+func TestRequestTest(t *testing.T) {
+	w := MustWorld(2)
+	defer w.Close()
+	c0 := w.MustComm(0)
+	c1 := w.MustComm(1)
+	req := c1.Irecv(0, 5)
+	if _, done, err := req.Test(); done || err != nil {
+		t.Fatalf("request completed before send: done=%v err=%v", done, err)
+	}
+	if err := c0.Send(1, 5, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		m, done, err := req.Test()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			if string(m.Data) != "x" {
+				t.Fatalf("got %q", m.Data)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("request never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	runRanks(t, 3, func(c *Comm) error {
+		if c.Rank() == 0 {
+			var reqs []*Request
+			for dst := 1; dst <= 2; dst++ {
+				reqs = append(reqs, c.Isend(dst, 7, []byte{byte(dst)}))
+			}
+			_, err := WaitAll(reqs)
+			return err
+		}
+		reqs := []*Request{c.Irecv(0, 7)}
+		msgs, err := WaitAll(reqs)
+		if err != nil {
+			return err
+		}
+		if int(msgs[0].Data[0]) != c.Rank() {
+			return fmt.Errorf("rank %d got %d", c.Rank(), msgs[0].Data[0])
+		}
+		return nil
+	})
+}
+
+func TestWaitAllPropagatesError(t *testing.T) {
+	w := MustWorld(2)
+	c := w.MustComm(0)
+	req := c.Irecv(1, 0)
+	w.Close()
+	if _, err := WaitAll([]*Request{req}); err == nil {
+		t.Fatal("closed-world receive did not error")
+	}
+}
+
+func TestProbeInproc(t *testing.T) {
+	w := MustWorld(2)
+	defer w.Close()
+	c0 := w.MustComm(0)
+	c1 := w.MustComm(1)
+	ok, err := c1.Probe(0, 4)
+	if err != nil || ok {
+		t.Fatalf("probe before send: %v %v", ok, err)
+	}
+	if err := c0.Send(1, 4, []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	// The inproc transport delivers synchronously.
+	ok, err = c1.Probe(0, 4)
+	if err != nil || !ok {
+		t.Fatalf("probe after send: %v %v", ok, err)
+	}
+	// Wildcards.
+	ok, err = c1.Probe(AnySource, AnyTag)
+	if err != nil || !ok {
+		t.Fatalf("wildcard probe: %v %v", ok, err)
+	}
+	// Probing must not consume.
+	m, err := c1.Recv(0, 4)
+	if err != nil || string(m.Data) != "p" {
+		t.Fatalf("recv after probe: %v %v", m, err)
+	}
+	if _, err := c1.Probe(9, 0); err == nil {
+		t.Fatal("bad src accepted")
+	}
+}
+
+func TestProbeTCP(t *testing.T) {
+	nodes := startTCPWorld(t, 2)
+	c0, _ := nodes[0].WorldComm()
+	c1, _ := nodes[1].WorldComm()
+	if err := c0.Send(1, 2, []byte("t")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ok, err := c1.Probe(0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("message never probed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRecvTimeout(t *testing.T) {
+	w := MustWorld(2)
+	defer w.Close()
+	c0 := w.MustComm(0)
+	c1 := w.MustComm(1)
+
+	start := time.Now()
+	_, err := c1.RecvTimeout(0, 3, 50*time.Millisecond)
+	if err != ErrTimeout {
+		t.Fatalf("got %v want ErrTimeout", err)
+	}
+	if time.Since(start) < 50*time.Millisecond {
+		t.Fatal("returned before the deadline")
+	}
+
+	if err := c0.Send(1, 3, []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c1.RecvTimeout(0, 3, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Data) != "late" {
+		t.Fatalf("got %q", m.Data)
+	}
+}
+
+func TestRecvTimeoutClosedWorld(t *testing.T) {
+	w := MustWorld(2)
+	c := w.MustComm(0)
+	w.Close()
+	if _, err := c.RecvTimeout(1, 0, time.Second); err != ErrClosed {
+		t.Fatalf("got %v want ErrClosed", err)
+	}
+}
+
+func TestProbeClosed(t *testing.T) {
+	w := MustWorld(2)
+	c := w.MustComm(0)
+	w.Close()
+	if _, err := c.Probe(1, 0); err != ErrClosed {
+		t.Fatalf("got %v want ErrClosed", err)
+	}
+}

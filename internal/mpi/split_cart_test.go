@@ -1,0 +1,224 @@
+package mpi
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestSplitByParity(t *testing.T) {
+	runRanks(t, 6, func(c *Comm) error {
+		sub, err := c.Split(c.Rank()%2, c.Rank())
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("sub size %d", sub.Size())
+		}
+		wantRank := c.Rank() / 2
+		if sub.Rank() != wantRank {
+			return fmt.Errorf("world rank %d got sub rank %d want %d", c.Rank(), sub.Rank(), wantRank)
+		}
+		// Collective inside the sub-communicator.
+		parts, err := sub.Allgather([]byte{byte(c.Rank())})
+		if err != nil {
+			return err
+		}
+		for i, p := range parts {
+			want := byte(2*i + c.Rank()%2)
+			if p[0] != want {
+				return fmt.Errorf("sub allgather part %d = %d want %d", i, p[0], want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestSplitKeyOrdersRanks(t *testing.T) {
+	runRanks(t, 4, func(c *Comm) error {
+		// Reverse ordering via descending keys.
+		sub, err := c.Split(0, -c.Rank())
+		if err != nil {
+			return err
+		}
+		want := c.Size() - 1 - c.Rank()
+		if sub.Rank() != want {
+			return fmt.Errorf("world %d -> sub %d, want %d", c.Rank(), sub.Rank(), want)
+		}
+		return nil
+	})
+}
+
+func TestSplitNegativeColorExcluded(t *testing.T) {
+	runRanks(t, 3, func(c *Comm) error {
+		color := 0
+		if c.Rank() == 1 {
+			color = -1
+		}
+		sub, err := c.Split(color, c.Rank())
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			if sub != nil {
+				return fmt.Errorf("excluded rank got a communicator")
+			}
+			return nil
+		}
+		if sub.Size() != 2 {
+			return fmt.Errorf("sub size %d", sub.Size())
+		}
+		// A world barrier would hang (rank 1 left); use the sub-comm.
+		return sub.Barrier()
+	})
+}
+
+func TestSplitIsolatesMessageContexts(t *testing.T) {
+	// The same tag on parent and child communicators must not cross.
+	runRanks(t, 2, func(c *Comm) error {
+		sub, err := c.Split(0, c.Rank())
+		if err != nil {
+			return err
+		}
+		const tag = 5
+		if c.Rank() == 0 {
+			if err := c.Send(1, tag, []byte("parent")); err != nil {
+				return err
+			}
+			return sub.Send(1, tag, []byte("child"))
+		}
+		mc, err := sub.Recv(0, tag)
+		if err != nil {
+			return err
+		}
+		if string(mc.Data) != "child" {
+			return fmt.Errorf("child comm got %q", mc.Data)
+		}
+		mp, err := c.Recv(0, tag)
+		if err != nil {
+			return err
+		}
+		if string(mp.Data) != "parent" {
+			return fmt.Errorf("parent comm got %q", mp.Data)
+		}
+		return nil
+	})
+}
+
+func TestDupSeparateContext(t *testing.T) {
+	runRanks(t, 3, func(c *Comm) error {
+		dup, err := c.Dup()
+		if err != nil {
+			return err
+		}
+		if dup.Size() != c.Size() || dup.Rank() != c.Rank() {
+			return fmt.Errorf("dup geometry %d/%d", dup.Rank(), dup.Size())
+		}
+		if dup.id == c.id {
+			return fmt.Errorf("dup shares message context")
+		}
+		return dup.Barrier()
+	})
+}
+
+func TestSplitTwiceDistinctComms(t *testing.T) {
+	runRanks(t, 2, func(c *Comm) error {
+		a, err := c.Split(0, c.Rank())
+		if err != nil {
+			return err
+		}
+		b, err := c.Split(0, c.Rank())
+		if err != nil {
+			return err
+		}
+		if a.id == b.id {
+			return fmt.Errorf("two splits share a communicator id")
+		}
+		return nil
+	})
+}
+
+func TestCartCreateValidation(t *testing.T) {
+	w := MustWorld(4)
+	defer w.Close()
+	c := w.MustComm(0)
+	if _, err := CartCreate(c, 3, 2); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := CartCreate(c, 0, 4); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+	cc, err := CartCreate(c, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, cl := cc.Dims()
+	if r != 2 || cl != 2 {
+		t.Fatalf("dims %d×%d", r, cl)
+	}
+}
+
+func TestCartCoordsAndRank(t *testing.T) {
+	w := MustWorld(12)
+	defer w.Close()
+	cc, err := CartCreate(w.MustComm(7), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, col, err := cc.Coords(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row != 1 || col != 3 {
+		t.Fatalf("coords (%d,%d)", row, col)
+	}
+	if cc.CartRank(row, col) != 7 {
+		t.Fatal("CartRank round trip")
+	}
+	if cc.CartRank(-1, 4) != cc.CartRank(2, 0) {
+		t.Fatal("periodic wrap broken")
+	}
+	if _, _, err := cc.Coords(99); err == nil {
+		t.Fatal("bad rank accepted")
+	}
+}
+
+func TestCartShift(t *testing.T) {
+	w := MustWorld(9)
+	defer w.Close()
+	cc, err := CartCreate(w.MustComm(4), 3, 3) // center cell (1,1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst, err := cc.Shift(0, 1) // rows
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != cc.CartRank(0, 1) || dst != cc.CartRank(2, 1) {
+		t.Fatalf("row shift src %d dst %d", src, dst)
+	}
+	src, dst, err = cc.Shift(1, 1) // cols
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != cc.CartRank(1, 0) || dst != cc.CartRank(1, 2) {
+		t.Fatalf("col shift src %d dst %d", src, dst)
+	}
+	if _, _, err := cc.Shift(2, 1); err == nil {
+		t.Fatal("bad dim accepted")
+	}
+}
+
+func TestCartNeighborRanks(t *testing.T) {
+	w := MustWorld(16)
+	defer w.Close()
+	cc, err := CartCreate(w.MustComm(0), 4, 4) // corner cell (0,0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cc.NeighborRanks()
+	want := [4]int{cc.CartRank(3, 0), cc.CartRank(0, 3), cc.CartRank(0, 1), cc.CartRank(1, 0)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("neighbours %v want %v", got, want)
+	}
+}

@@ -1,0 +1,244 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// frame layout: u32 payloadLen | u32 comm | i32 src | i32 tag | payload.
+const frameHeaderLen = 16
+
+// maxFrameLen bounds a single message (64 MiB) to catch corrupted streams.
+const maxFrameLen = 64 << 20
+
+// TCPNode is one process of a TCP-connected world. All ranks listen, then
+// build a full mesh: rank i dials every rank j < i and accepts connections
+// from every rank j > i. After Connect, the node behaves exactly like an
+// inproc rank: WorldComm returns the world communicator and all Comm
+// operations work unchanged, so the training code is transport-agnostic
+// (the decoupling the paper attributes to its comm-manager class).
+type TCPNode struct {
+	rank int
+	n    int
+
+	listener net.Listener
+	inbox    *mailbox
+
+	mu     sync.Mutex
+	conns  map[int]net.Conn
+	sendMu map[int]*sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ListenTCP creates a node for the given rank of an n-process world,
+// listening on bind (e.g. "127.0.0.1:0"). The chosen address is available
+// via Addr.
+func ListenTCP(rank, n int, bind string) (*TCPNode, error) {
+	if n <= 0 || rank < 0 || rank >= n {
+		return nil, fmt.Errorf("mpi: invalid rank %d of %d", rank, n)
+	}
+	ln, err := net.Listen("tcp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: listen %s: %w", bind, err)
+	}
+	return &TCPNode{
+		rank:     rank,
+		n:        n,
+		listener: ln,
+		inbox:    newMailbox(),
+		conns:    make(map[int]net.Conn),
+		sendMu:   make(map[int]*sync.Mutex),
+	}, nil
+}
+
+// Addr returns the node's listening address.
+func (t *TCPNode) Addr() string { return t.listener.Addr().String() }
+
+// Connect establishes the full mesh. addrs maps every rank to its
+// listening address (addrs[t.rank] is ignored). Dialing retries until the
+// deadline to tolerate staggered process start-up.
+func (t *TCPNode) Connect(addrs []string, timeout time.Duration) error {
+	if len(addrs) != t.n {
+		return fmt.Errorf("mpi: Connect wants %d addresses, got %d", t.n, len(addrs))
+	}
+	deadline := time.Now().Add(timeout)
+	errc := make(chan error, 2)
+
+	// Accept connections from higher ranks.
+	expectAccept := t.n - 1 - t.rank
+	go func() {
+		for i := 0; i < expectAccept; i++ {
+			conn, err := t.listener.Accept()
+			if err != nil {
+				errc <- fmt.Errorf("mpi: rank %d accept: %w", t.rank, err)
+				return
+			}
+			var hello [4]byte
+			if _, err := io.ReadFull(conn, hello[:]); err != nil {
+				errc <- fmt.Errorf("mpi: rank %d reading hello: %w", t.rank, err)
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(hello[:]))
+			if peer <= t.rank || peer >= t.n {
+				errc <- fmt.Errorf("mpi: rank %d got hello from unexpected rank %d", t.rank, peer)
+				return
+			}
+			t.addConn(peer, conn)
+		}
+		errc <- nil
+	}()
+
+	// Dial lower ranks.
+	go func() {
+		for peer := 0; peer < t.rank; peer++ {
+			var conn net.Conn
+			var err error
+			for {
+				d := net.Dialer{Deadline: deadline}
+				conn, err = d.Dial("tcp", addrs[peer])
+				if err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					errc <- fmt.Errorf("mpi: rank %d dialing rank %d at %s: %w", t.rank, peer, addrs[peer], err)
+					return
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			var hello [4]byte
+			binary.LittleEndian.PutUint32(hello[:], uint32(t.rank))
+			if _, err := conn.Write(hello[:]); err != nil {
+				errc <- fmt.Errorf("mpi: rank %d hello to rank %d: %w", t.rank, peer, err)
+				return
+			}
+			t.addConn(peer, conn)
+		}
+		errc <- nil
+	}()
+
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Close()
+			return err
+		}
+	}
+	return nil
+}
+
+// addConn registers a peer connection and starts its reader goroutine.
+func (t *TCPNode) addConn(peer int, conn net.Conn) {
+	t.mu.Lock()
+	t.conns[peer] = conn
+	t.sendMu[peer] = &sync.Mutex{}
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go t.readLoop(conn)
+}
+
+// readLoop decodes frames from one peer into the inbox until the
+// connection fails or the node closes.
+func (t *TCPNode) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	hdr := make([]byte, frameHeaderLen)
+	for {
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			return
+		}
+		plen := binary.LittleEndian.Uint32(hdr[0:])
+		if plen > maxFrameLen {
+			return
+		}
+		m := wireMsg{
+			Comm: binary.LittleEndian.Uint32(hdr[4:]),
+			Src:  int(int32(binary.LittleEndian.Uint32(hdr[8:]))),
+			Tag:  int(int32(binary.LittleEndian.Uint32(hdr[12:]))),
+		}
+		if plen > 0 {
+			m.Data = make([]byte, plen)
+			if _, err := io.ReadFull(conn, m.Data); err != nil {
+				return
+			}
+		}
+		if t.inbox.put(m) != nil {
+			return
+		}
+	}
+}
+
+func (t *TCPNode) sendWorld(dst int, m wireMsg) error {
+	if dst == t.rank {
+		return t.inbox.put(m)
+	}
+	t.mu.Lock()
+	conn := t.conns[dst]
+	mu := t.sendMu[dst]
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if conn == nil {
+		return fmt.Errorf("mpi: no connection to world rank %d", dst)
+	}
+	buf := make([]byte, frameHeaderLen+len(m.Data))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(m.Data)))
+	binary.LittleEndian.PutUint32(buf[4:], m.Comm)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(int32(m.Src)))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(int32(m.Tag)))
+	copy(buf[frameHeaderLen:], m.Data)
+	mu.Lock()
+	defer mu.Unlock()
+	if _, err := conn.Write(buf); err != nil {
+		return fmt.Errorf("mpi: send to rank %d: %w", dst, err)
+	}
+	return nil
+}
+
+func (t *TCPNode) recvWorld(commID uint32, srcWorld, tag int) (wireMsg, error) {
+	return t.inbox.take(commID, srcWorld, tag)
+}
+
+func (t *TCPNode) worldRank() int { return t.rank }
+func (t *TCPNode) worldSize() int { return t.n }
+
+func (t *TCPNode) close() error {
+	t.Close()
+	return nil
+}
+
+// Close tears the node down: the listener and all connections are closed
+// and pending receives unblock with ErrClosed.
+func (t *TCPNode) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	conns := make([]net.Conn, 0, len(t.conns))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	t.listener.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	t.inbox.close()
+	t.wg.Wait()
+}
+
+// WorldComm returns the world communicator for this node. Call after
+// Connect.
+func (t *TCPNode) WorldComm() (*Comm, error) {
+	group := make([]int, t.n)
+	for i := range group {
+		group[i] = i
+	}
+	return newComm(t, worldCommID, group)
+}

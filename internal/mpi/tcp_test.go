@@ -1,0 +1,240 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startTCPWorld spins up an n-node loopback mesh and returns the connected
+// nodes. Cleanup closes every node.
+func startTCPWorld(t *testing.T, n int) []*TCPNode {
+	t.Helper()
+	nodes := make([]*TCPNode, n)
+	addrs := make([]string, n)
+	for r := 0; r < n; r++ {
+		node, err := ListenTCP(r, n, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[r] = node
+		addrs[r] = node.Addr()
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for _, node := range nodes {
+		wg.Add(1)
+		go func(nd *TCPNode) {
+			defer wg.Done()
+			errs <- nd.Connect(addrs, 5*time.Second)
+		}(node)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	})
+	return nodes
+}
+
+func TestTCPValidation(t *testing.T) {
+	if _, err := ListenTCP(3, 2, "127.0.0.1:0"); err == nil {
+		t.Fatal("bad rank accepted")
+	}
+	node, err := ListenTCP(0, 2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if err := node.Connect([]string{"x"}, time.Second); err == nil {
+		t.Fatal("wrong address count accepted")
+	}
+}
+
+func TestTCPPointToPoint(t *testing.T) {
+	nodes := startTCPWorld(t, 3)
+	comms := make([]*Comm, 3)
+	for i, nd := range nodes {
+		c, err := nd.WorldComm()
+		if err != nil {
+			t.Fatal(err)
+		}
+		comms[i] = c
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(c *Comm) {
+			defer wg.Done()
+			errs <- func() error {
+				next := (c.Rank() + 1) % 3
+				prev := (c.Rank() + 2) % 3
+				if err := c.Send(next, 1, []byte{byte(c.Rank())}); err != nil {
+					return err
+				}
+				m, err := c.Recv(prev, 1)
+				if err != nil {
+					return err
+				}
+				if int(m.Data[0]) != prev {
+					return fmt.Errorf("rank %d got %d", c.Rank(), m.Data[0])
+				}
+				return nil
+			}()
+		}(comms[r])
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTCPSelfSend(t *testing.T) {
+	nodes := startTCPWorld(t, 2)
+	c, err := nodes[0].WorldComm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(0, 3, []byte("loop")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Recv(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Data) != "loop" {
+		t.Fatalf("self send got %q", m.Data)
+	}
+}
+
+func TestTCPCollectivesAndSplit(t *testing.T) {
+	nodes := startTCPWorld(t, 4)
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for _, nd := range nodes {
+		wg.Add(1)
+		go func(nd *TCPNode) {
+			defer wg.Done()
+			errs <- func() error {
+				c, err := nd.WorldComm()
+				if err != nil {
+					return err
+				}
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+				parts, err := c.Allgather([]byte{byte(c.Rank() * 2)})
+				if err != nil {
+					return err
+				}
+				for r, p := range parts {
+					if int(p[0]) != 2*r {
+						return fmt.Errorf("allgather part %d = %d", r, p[0])
+					}
+				}
+				sub, err := c.Split(c.Rank()/2, c.Rank())
+				if err != nil {
+					return err
+				}
+				sum, err := sub.Allreduce([]float64{float64(c.Rank())}, OpSum)
+				if err != nil {
+					return err
+				}
+				want := 1.0 // ranks {0,1} or {2,3}
+				if c.Rank() >= 2 {
+					want = 5
+				}
+				if sum[0] != want {
+					return fmt.Errorf("rank %d sub sum %v want %v", c.Rank(), sum[0], want)
+				}
+				return nil
+			}()
+		}(nd)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTCPLargeMessage(t *testing.T) {
+	nodes := startTCPWorld(t, 2)
+	c0, _ := nodes[0].WorldComm()
+	c1, _ := nodes[1].WorldComm()
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	done := make(chan error, 1)
+	go func() {
+		m, err := c1.Recv(0, 8)
+		if err != nil {
+			done <- err
+			return
+		}
+		for i := range m.Data {
+			if m.Data[i] != byte(i*31) {
+				done <- fmt.Errorf("corruption at byte %d", i)
+				return
+			}
+		}
+		done <- nil
+	}()
+	if err := c0.Send(1, 8, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPCloseUnblocks(t *testing.T) {
+	nodes := startTCPWorld(t, 2)
+	c, _ := nodes[0].WorldComm()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Recv(1, 0)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	nodes[0].Close()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Fatalf("got %v want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock")
+	}
+	if err := c.Send(1, 0, nil); err == nil {
+		t.Fatal("send after close accepted")
+	}
+}
+
+func TestTCPConnectTimeout(t *testing.T) {
+	// Rank 1 dials rank 0 at an address where nothing listens.
+	node, err := ListenTCP(1, 2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	err = node.Connect([]string{"127.0.0.1:1", node.Addr()}, 200*time.Millisecond)
+	if err == nil {
+		t.Fatal("connect to dead address succeeded")
+	}
+}

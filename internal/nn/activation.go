@@ -1,0 +1,159 @@
+package nn
+
+import (
+	"math"
+
+	"cellgan/internal/tensor"
+)
+
+// statelessBase implements the no-parameter parts of Layer for activations.
+type statelessBase struct{}
+
+func (statelessBase) Params() []*tensor.Mat { return nil }
+func (statelessBase) Grads() []*tensor.Mat  { return nil }
+func (statelessBase) ZeroGrads()            {}
+
+// Tanh is the hyperbolic-tangent activation (the paper's Table I choice).
+type Tanh struct {
+	statelessBase
+	out *tensor.Mat
+}
+
+// NewTanh returns a Tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward applies tanh element-wise.
+func (t *Tanh) Forward(x *tensor.Mat) *tensor.Mat {
+	t.out = x.Map(math.Tanh)
+	return t.out
+}
+
+// Backward returns grad ⊙ (1 - tanh²).
+func (t *Tanh) Backward(grad *tensor.Mat) *tensor.Mat {
+	if t.out == nil {
+		panic("nn: Tanh.Backward before Forward")
+	}
+	g := grad.Clone()
+	for i, y := range t.out.Data {
+		g.Data[i] *= 1 - y*y
+	}
+	return g
+}
+
+// Clone returns a fresh Tanh layer.
+func (t *Tanh) Clone() Layer { return &Tanh{} }
+
+// Sigmoid is the logistic activation.
+type Sigmoid struct {
+	statelessBase
+	out *tensor.Mat
+}
+
+// NewSigmoid returns a Sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// sigmoid is a numerically stable logistic function.
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// Forward applies the logistic function element-wise.
+func (s *Sigmoid) Forward(x *tensor.Mat) *tensor.Mat {
+	s.out = x.Map(sigmoid)
+	return s.out
+}
+
+// Backward returns grad ⊙ σ(1-σ).
+func (s *Sigmoid) Backward(grad *tensor.Mat) *tensor.Mat {
+	if s.out == nil {
+		panic("nn: Sigmoid.Backward before Forward")
+	}
+	g := grad.Clone()
+	for i, y := range s.out.Data {
+		g.Data[i] *= y * (1 - y)
+	}
+	return g
+}
+
+// Clone returns a fresh Sigmoid layer.
+func (s *Sigmoid) Clone() Layer { return &Sigmoid{} }
+
+// LeakyReLU is max(x, alpha·x); Lipizzaner's discriminators use alpha=0.2.
+type LeakyReLU struct {
+	statelessBase
+	Alpha float64
+	x     *tensor.Mat
+}
+
+// NewLeakyReLU returns a LeakyReLU with the given negative slope.
+func NewLeakyReLU(alpha float64) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
+
+// Forward applies the leaky rectifier element-wise.
+func (l *LeakyReLU) Forward(x *tensor.Mat) *tensor.Mat {
+	l.x = x
+	return x.Map(func(v float64) float64 {
+		if v >= 0 {
+			return v
+		}
+		return l.Alpha * v
+	})
+}
+
+// Backward scales grad by 1 where the input was non-negative, alpha
+// elsewhere.
+func (l *LeakyReLU) Backward(grad *tensor.Mat) *tensor.Mat {
+	if l.x == nil {
+		panic("nn: LeakyReLU.Backward before Forward")
+	}
+	g := grad.Clone()
+	for i, v := range l.x.Data {
+		if v < 0 {
+			g.Data[i] *= l.Alpha
+		}
+	}
+	return g
+}
+
+// Clone returns a fresh LeakyReLU with the same slope.
+func (l *LeakyReLU) Clone() Layer { return &LeakyReLU{Alpha: l.Alpha} }
+
+// ReLU is the plain rectifier.
+type ReLU struct {
+	statelessBase
+	x *tensor.Mat
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward applies max(0, x) element-wise.
+func (r *ReLU) Forward(x *tensor.Mat) *tensor.Mat {
+	r.x = x
+	return x.Map(func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	})
+}
+
+// Backward masks grad where the input was negative.
+func (r *ReLU) Backward(grad *tensor.Mat) *tensor.Mat {
+	if r.x == nil {
+		panic("nn: ReLU.Backward before Forward")
+	}
+	g := grad.Clone()
+	for i, v := range r.x.Data {
+		if v <= 0 {
+			g.Data[i] = 0
+		}
+	}
+	return g
+}
+
+// Clone returns a fresh ReLU.
+func (r *ReLU) Clone() Layer { return &ReLU{} }

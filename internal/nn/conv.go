@@ -1,0 +1,403 @@
+package nn
+
+import (
+	"fmt"
+
+	"cellgan/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over batches of flattened C×H×W images
+// (row-major per sample: channel, then row, then column). It exists for
+// the paper's future-work direction — "generation of higher dimensional
+// images, such as samples from CIFAR and CelebA" — which needs DCGAN-style
+// convolutional generators and discriminators.
+type Conv2D struct {
+	InC, InH, InW int
+	OutC          int
+	K             int // square kernel side
+	Stride        int
+	Pad           int
+
+	// W has shape (OutC) × (InC·K·K); B is 1×OutC.
+	W, B   *tensor.Mat
+	dW, dB *tensor.Mat
+
+	x *tensor.Mat // cached input
+}
+
+// NewConv2D constructs a convolution layer with He-normal weights.
+func NewConv2D(inC, inH, inW, outC, k, stride, pad int, rng *tensor.RNG) (*Conv2D, error) {
+	if inC <= 0 || inH <= 0 || inW <= 0 || outC <= 0 || k <= 0 || stride <= 0 || pad < 0 {
+		return nil, fmt.Errorf("nn: invalid conv geometry C%d H%d W%d -> C%d k%d s%d p%d",
+			inC, inH, inW, outC, k, stride, pad)
+	}
+	if (inH+2*pad-k) < 0 || (inW+2*pad-k) < 0 {
+		return nil, fmt.Errorf("nn: kernel %d larger than padded input %d×%d", k, inH+2*pad, inW+2*pad)
+	}
+	if (inH+2*pad-k)%stride != 0 || (inW+2*pad-k)%stride != 0 {
+		return nil, fmt.Errorf("nn: conv geometry does not tile: (dim+2·%d−%d) %% %d ≠ 0", pad, k, stride)
+	}
+	c := &Conv2D{InC: inC, InH: inH, InW: inW, OutC: outC, K: k, Stride: stride, Pad: pad}
+	fanIn := inC * k * k
+	c.W = tensor.New(outC, fanIn)
+	tensor.HeNormal(c.W, fanIn, rng)
+	c.B = tensor.New(1, outC)
+	c.dW = tensor.New(outC, fanIn)
+	c.dB = tensor.New(1, outC)
+	return c, nil
+}
+
+// OutDims returns the output (channels, height, width).
+func (c *Conv2D) OutDims() (outC, outH, outW int) {
+	return c.OutC, (c.InH+2*c.Pad-c.K)/c.Stride + 1, (c.InW+2*c.Pad-c.K)/c.Stride + 1
+}
+
+// OutputWidth implements Sized.
+func (c *Conv2D) OutputWidth() int {
+	oc, oh, ow := c.OutDims()
+	return oc * oh * ow
+}
+
+func (c *Conv2D) inIndex(ch, y, x int) int  { return (ch*c.InH+y)*c.InW + x }
+func (c *Conv2D) wIndex(ic, ky, kx int) int { return (ic*c.K+ky)*c.K + kx }
+
+// Forward applies the convolution to a batch (rows = samples, each of
+// length InC·InH·InW).
+func (c *Conv2D) Forward(x *tensor.Mat) *tensor.Mat {
+	if x.Cols != c.InC*c.InH*c.InW {
+		panic(fmt.Sprintf("nn: Conv2D input width %d, want %d", x.Cols, c.InC*c.InH*c.InW))
+	}
+	c.x = x
+	_, outH, outW := c.OutDims()
+	out := tensor.New(x.Rows, c.OutC*outH*outW)
+	tensor.ParallelFor(x.Rows, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			in := x.Row(b)
+			dst := out.Row(b)
+			for oc := 0; oc < c.OutC; oc++ {
+				w := c.W.Row(oc)
+				bias := c.B.Data[oc]
+				for oy := 0; oy < outH; oy++ {
+					for ox := 0; ox < outW; ox++ {
+						sum := bias
+						for ic := 0; ic < c.InC; ic++ {
+							for ky := 0; ky < c.K; ky++ {
+								iy := oy*c.Stride - c.Pad + ky
+								if iy < 0 || iy >= c.InH {
+									continue
+								}
+								for kx := 0; kx < c.K; kx++ {
+									ix := ox*c.Stride - c.Pad + kx
+									if ix < 0 || ix >= c.InW {
+										continue
+									}
+									sum += w[c.wIndex(ic, ky, kx)] * in[c.inIndex(ic, iy, ix)]
+								}
+							}
+						}
+						dst[(oc*outH+oy)*outW+ox] = sum
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Backward accumulates parameter gradients and returns ∂L/∂input.
+func (c *Conv2D) Backward(grad *tensor.Mat) *tensor.Mat {
+	if c.x == nil {
+		panic("nn: Conv2D.Backward before Forward")
+	}
+	_, outH, outW := c.OutDims()
+	dx := tensor.New(c.x.Rows, c.x.Cols)
+	for b := 0; b < c.x.Rows; b++ {
+		in := c.x.Row(b)
+		g := grad.Row(b)
+		dIn := dx.Row(b)
+		for oc := 0; oc < c.OutC; oc++ {
+			w := c.W.Row(oc)
+			dw := c.dW.Row(oc)
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					gv := g[(oc*outH+oy)*outW+ox]
+					if gv == 0 {
+						continue
+					}
+					c.dB.Data[oc] += gv
+					for ic := 0; ic < c.InC; ic++ {
+						for ky := 0; ky < c.K; ky++ {
+							iy := oy*c.Stride - c.Pad + ky
+							if iy < 0 || iy >= c.InH {
+								continue
+							}
+							for kx := 0; kx < c.K; kx++ {
+								ix := ox*c.Stride - c.Pad + kx
+								if ix < 0 || ix >= c.InW {
+									continue
+								}
+								dw[c.wIndex(ic, ky, kx)] += gv * in[c.inIndex(ic, iy, ix)]
+								dIn[c.inIndex(ic, iy, ix)] += gv * w[c.wIndex(ic, ky, kx)]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns {W, B}.
+func (c *Conv2D) Params() []*tensor.Mat { return []*tensor.Mat{c.W, c.B} }
+
+// Grads returns {dW, dB}.
+func (c *Conv2D) Grads() []*tensor.Mat { return []*tensor.Mat{c.dW, c.dB} }
+
+// ZeroGrads clears the gradient accumulators.
+func (c *Conv2D) ZeroGrads() {
+	c.dW.Zero()
+	c.dB.Zero()
+}
+
+// Clone returns an independent copy.
+func (c *Conv2D) Clone() Layer {
+	cp := *c
+	cp.W = c.W.Clone()
+	cp.B = c.B.Clone()
+	cp.dW = tensor.New(c.dW.Rows, c.dW.Cols)
+	cp.dB = tensor.New(c.dB.Rows, c.dB.Cols)
+	cp.x = nil
+	return &cp
+}
+
+// ConvTranspose2D is the transposed (fractionally-strided) convolution
+// DCGAN generators upsample with. Output side = (in−1)·stride − 2·pad + k.
+type ConvTranspose2D struct {
+	InC, InH, InW int
+	OutC          int
+	K, Stride     int
+	Pad           int
+
+	// W has shape (InC) × (OutC·K·K): the transpose of Conv2D's layout,
+	// matching the "gradient of convolution" view.
+	W, B   *tensor.Mat
+	dW, dB *tensor.Mat
+
+	x *tensor.Mat
+}
+
+// NewConvTranspose2D constructs a transposed convolution layer.
+func NewConvTranspose2D(inC, inH, inW, outC, k, stride, pad int, rng *tensor.RNG) (*ConvTranspose2D, error) {
+	if inC <= 0 || inH <= 0 || inW <= 0 || outC <= 0 || k <= 0 || stride <= 0 || pad < 0 {
+		return nil, fmt.Errorf("nn: invalid convT geometry C%d H%d W%d -> C%d k%d s%d p%d",
+			inC, inH, inW, outC, k, stride, pad)
+	}
+	outH := (inH-1)*stride - 2*pad + k
+	outW := (inW-1)*stride - 2*pad + k
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("nn: convT output %d×%d not positive", outH, outW)
+	}
+	t := &ConvTranspose2D{InC: inC, InH: inH, InW: inW, OutC: outC, K: k, Stride: stride, Pad: pad}
+	fanIn := inC * k * k
+	t.W = tensor.New(inC, outC*k*k)
+	tensor.HeNormal(t.W, fanIn, rng)
+	t.B = tensor.New(1, outC)
+	t.dW = tensor.New(inC, outC*k*k)
+	t.dB = tensor.New(1, outC)
+	return t, nil
+}
+
+// OutDims returns the output (channels, height, width).
+func (t *ConvTranspose2D) OutDims() (outC, outH, outW int) {
+	return t.OutC, (t.InH-1)*t.Stride - 2*t.Pad + t.K, (t.InW-1)*t.Stride - 2*t.Pad + t.K
+}
+
+// OutputWidth implements Sized.
+func (t *ConvTranspose2D) OutputWidth() int {
+	oc, oh, ow := t.OutDims()
+	return oc * oh * ow
+}
+
+func (t *ConvTranspose2D) wIndex(oc, ky, kx int) int { return (oc*t.K+ky)*t.K + kx }
+
+// Forward scatters each input activation through the kernel into the
+// upsampled output.
+func (t *ConvTranspose2D) Forward(x *tensor.Mat) *tensor.Mat {
+	if x.Cols != t.InC*t.InH*t.InW {
+		panic(fmt.Sprintf("nn: ConvTranspose2D input width %d, want %d", x.Cols, t.InC*t.InH*t.InW))
+	}
+	t.x = x
+	_, outH, outW := t.OutDims()
+	out := tensor.New(x.Rows, t.OutC*outH*outW)
+	tensor.ParallelFor(x.Rows, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			in := x.Row(b)
+			dst := out.Row(b)
+			// Bias first.
+			for oc := 0; oc < t.OutC; oc++ {
+				base := oc * outH * outW
+				bias := t.B.Data[oc]
+				for i := 0; i < outH*outW; i++ {
+					dst[base+i] = bias
+				}
+			}
+			for ic := 0; ic < t.InC; ic++ {
+				w := t.W.Row(ic)
+				for iy := 0; iy < t.InH; iy++ {
+					for ix := 0; ix < t.InW; ix++ {
+						v := in[(ic*t.InH+iy)*t.InW+ix]
+						if v == 0 {
+							continue
+						}
+						for oc := 0; oc < t.OutC; oc++ {
+							for ky := 0; ky < t.K; ky++ {
+								oy := iy*t.Stride - t.Pad + ky
+								if oy < 0 || oy >= outH {
+									continue
+								}
+								for kx := 0; kx < t.K; kx++ {
+									ox := ix*t.Stride - t.Pad + kx
+									if ox < 0 || ox >= outW {
+										continue
+									}
+									dst[(oc*outH+oy)*outW+ox] += v * w[t.wIndex(oc, ky, kx)]
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Backward accumulates gradients and returns ∂L/∂input (a gather, the
+// mirror of the forward scatter).
+func (t *ConvTranspose2D) Backward(grad *tensor.Mat) *tensor.Mat {
+	if t.x == nil {
+		panic("nn: ConvTranspose2D.Backward before Forward")
+	}
+	_, outH, outW := t.OutDims()
+	dx := tensor.New(t.x.Rows, t.x.Cols)
+	for b := 0; b < t.x.Rows; b++ {
+		in := t.x.Row(b)
+		g := grad.Row(b)
+		dIn := dx.Row(b)
+		// Bias gradient: sum over all output positions per channel.
+		for oc := 0; oc < t.OutC; oc++ {
+			base := oc * outH * outW
+			s := 0.0
+			for i := 0; i < outH*outW; i++ {
+				s += g[base+i]
+			}
+			t.dB.Data[oc] += s
+		}
+		for ic := 0; ic < t.InC; ic++ {
+			w := t.W.Row(ic)
+			dw := t.dW.Row(ic)
+			for iy := 0; iy < t.InH; iy++ {
+				for ix := 0; ix < t.InW; ix++ {
+					inV := in[(ic*t.InH+iy)*t.InW+ix]
+					acc := 0.0
+					for oc := 0; oc < t.OutC; oc++ {
+						for ky := 0; ky < t.K; ky++ {
+							oy := iy*t.Stride - t.Pad + ky
+							if oy < 0 || oy >= outH {
+								continue
+							}
+							for kx := 0; kx < t.K; kx++ {
+								ox := ix*t.Stride - t.Pad + kx
+								if ox < 0 || ox >= outW {
+									continue
+								}
+								gv := g[(oc*outH+oy)*outW+ox]
+								acc += gv * w[t.wIndex(oc, ky, kx)]
+								dw[t.wIndex(oc, ky, kx)] += gv * inV
+							}
+						}
+					}
+					dIn[(ic*t.InH+iy)*t.InW+ix] = acc
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns {W, B}.
+func (t *ConvTranspose2D) Params() []*tensor.Mat { return []*tensor.Mat{t.W, t.B} }
+
+// Grads returns {dW, dB}.
+func (t *ConvTranspose2D) Grads() []*tensor.Mat { return []*tensor.Mat{t.dW, t.dB} }
+
+// ZeroGrads clears the gradient accumulators.
+func (t *ConvTranspose2D) ZeroGrads() {
+	t.dW.Zero()
+	t.dB.Zero()
+}
+
+// Clone returns an independent copy.
+func (t *ConvTranspose2D) Clone() Layer {
+	cp := *t
+	cp.W = t.W.Clone()
+	cp.B = t.B.Clone()
+	cp.dW = tensor.New(t.dW.Rows, t.dW.Cols)
+	cp.dB = tensor.New(t.dB.Rows, t.dB.Cols)
+	cp.x = nil
+	return &cp
+}
+
+// Dropout zeroes activations with probability P during training and
+// rescales survivors by 1/(1−P) (inverted dropout). Outside training
+// (Train == false) it is the identity.
+type Dropout struct {
+	statelessBase
+	P     float64
+	Train bool
+	rng   *tensor.RNG
+	mask  *tensor.Mat
+}
+
+// NewDropout returns a Dropout layer in training mode.
+func NewDropout(p float64, rng *tensor.RNG) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: dropout probability %v outside [0,1)", p))
+	}
+	return &Dropout{P: p, Train: true, rng: rng}
+}
+
+// Forward applies the dropout mask (or passes through in eval mode).
+func (d *Dropout) Forward(x *tensor.Mat) *tensor.Mat {
+	if !d.Train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	d.mask = tensor.New(x.Rows, x.Cols)
+	out := tensor.New(x.Rows, x.Cols)
+	scale := 1 / (1 - d.P)
+	for i, v := range x.Data {
+		if d.rng.Float64() >= d.P {
+			d.mask.Data[i] = scale
+			out.Data[i] = v * scale
+		}
+	}
+	return out
+}
+
+// Backward masks the incoming gradient identically.
+func (d *Dropout) Backward(grad *tensor.Mat) *tensor.Mat {
+	if d.mask == nil {
+		return grad
+	}
+	g := grad.Clone()
+	g.MulElem(d.mask)
+	return g
+}
+
+// Clone returns a fresh dropout layer sharing probability but not RNG
+// state.
+func (d *Dropout) Clone() Layer {
+	return &Dropout{P: d.P, Train: d.Train, rng: d.rng.Split()}
+}

@@ -1,0 +1,161 @@
+package nn
+
+import (
+	"bytes"
+	"fmt"
+
+	"cellgan/internal/tensor"
+)
+
+// Network is an ordered sequence of layers trained end-to-end.
+type Network struct {
+	Layers []Layer
+}
+
+// NewNetwork returns a network over the given layers.
+func NewNetwork(layers ...Layer) *Network { return &Network{Layers: layers} }
+
+// Forward propagates a batch through every layer.
+func (n *Network) Forward(x *tensor.Mat) *tensor.Mat {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates ∂L/∂output back through every layer, accumulating
+// parameter gradients, and returns ∂L/∂input.
+func (n *Network) Backward(grad *tensor.Mat) *tensor.Mat {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns all trainable parameters, layer by layer.
+func (n *Network) Params() []*tensor.Mat {
+	var ps []*tensor.Mat
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Grads returns all gradient accumulators, aligned with Params.
+func (n *Network) Grads() []*tensor.Mat {
+	var gs []*tensor.Mat
+	for _, l := range n.Layers {
+		gs = append(gs, l.Grads()...)
+	}
+	return gs
+}
+
+// ZeroGrads clears every gradient accumulator.
+func (n *Network) ZeroGrads() {
+	for _, l := range n.Layers {
+		l.ZeroGrads()
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.Data)
+	}
+	return total
+}
+
+// Clone returns a deep copy of the network.
+func (n *Network) Clone() *Network {
+	c := &Network{Layers: make([]Layer, len(n.Layers))}
+	for i, l := range n.Layers {
+		c.Layers[i] = l.Clone()
+	}
+	return c
+}
+
+// CopyParamsFrom copies parameter values from src into n. The two networks
+// must have identical architectures.
+func (n *Network) CopyParamsFrom(src *Network) error {
+	dst := n.Params()
+	from := src.Params()
+	if len(dst) != len(from) {
+		return fmt.Errorf("nn: parameter count mismatch %d vs %d", len(dst), len(from))
+	}
+	for i := range dst {
+		if dst[i].Rows != from[i].Rows || dst[i].Cols != from[i].Cols {
+			return fmt.Errorf("nn: parameter %d shape mismatch %d×%d vs %d×%d",
+				i, dst[i].Rows, dst[i].Cols, from[i].Rows, from[i].Cols)
+		}
+		dst[i].CopyFrom(from[i])
+	}
+	return nil
+}
+
+// EncodeParams serialises the network parameters (not the architecture) to
+// a byte slice suitable for message passing between processes.
+func (n *Network) EncodeParams() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := tensor.EncodeMats(&buf, n.Params()); err != nil {
+		return nil, fmt.Errorf("nn: encoding params: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeParams overwrites the network parameters with values decoded from
+// data (produced by EncodeParams on an architecturally identical network).
+func (n *Network) DecodeParams(data []byte) error {
+	ms, err := tensor.DecodeMats(bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("nn: decoding params: %w", err)
+	}
+	ps := n.Params()
+	if len(ms) != len(ps) {
+		return fmt.Errorf("nn: decoded %d parameter matrices, want %d", len(ms), len(ps))
+	}
+	for i, p := range ps {
+		if ms[i].Rows != p.Rows || ms[i].Cols != p.Cols {
+			return fmt.Errorf("nn: decoded parameter %d has shape %d×%d, want %d×%d",
+				i, ms[i].Rows, ms[i].Cols, p.Rows, p.Cols)
+		}
+		p.CopyFrom(ms[i])
+	}
+	return nil
+}
+
+// ParamsL2 returns the L2 norm over all parameters, useful as a cheap
+// network fingerprint in tests and logs.
+func (n *Network) ParamsL2() float64 {
+	s := 0.0
+	for _, p := range n.Params() {
+		for _, v := range p.Data {
+			s += v * v
+		}
+	}
+	return s
+}
+
+// MLP builds a multilayer perceptron with the given layer sizes and a
+// hidden activation applied after every hidden Linear layer; outAct (may be
+// nil for raw logits) is applied after the final Linear layer.
+//
+// Example: MLP([64, 256, 256, 784], NewTanh, NewTanh, rng) is the paper's
+// generator topology.
+func MLP(sizes []int, hidden func() Layer, outAct func() Layer, rng *tensor.RNG) *Network {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	var layers []Layer
+	for i := 0; i < len(sizes)-1; i++ {
+		layers = append(layers, NewLinear(sizes[i], sizes[i+1], rng))
+		last := i == len(sizes)-2
+		switch {
+		case last && outAct != nil:
+			layers = append(layers, outAct())
+		case !last && hidden != nil:
+			layers = append(layers, hidden())
+		}
+	}
+	return NewNetwork(layers...)
+}

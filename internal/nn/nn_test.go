@@ -1,0 +1,445 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cellgan/internal/tensor"
+)
+
+func TestLinearForwardKnown(t *testing.T) {
+	l := &Linear{
+		W:  tensor.FromSlice(2, 2, []float64{1, 2, 3, 4}),
+		B:  tensor.FromSlice(1, 2, []float64{10, 20}),
+		dW: tensor.New(2, 2),
+		dB: tensor.New(1, 2),
+	}
+	x := tensor.FromSlice(1, 2, []float64{1, 1})
+	y := l.Forward(x)
+	want := tensor.FromSlice(1, 2, []float64{14, 26})
+	if !y.Equal(want) {
+		t.Fatalf("Forward = %v want %v", y, want)
+	}
+	if l.In() != 2 || l.Out() != 2 {
+		t.Fatalf("In/Out = %d/%d", l.In(), l.Out())
+	}
+}
+
+func TestLinearBackwardBeforeForwardPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewLinear(2, 2, tensor.NewRNG(1)).Backward(tensor.New(1, 2))
+}
+
+func TestActivationShapesAndRanges(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	x := tensor.New(4, 6)
+	tensor.GaussianFill(x, 0, 3, rng)
+
+	th := NewTanh().Forward(x)
+	sg := NewSigmoid().Forward(x)
+	lr := NewLeakyReLU(0.2).Forward(x)
+	rl := NewReLU().Forward(x)
+	for i := range x.Data {
+		if th.Data[i] < -1 || th.Data[i] > 1 {
+			t.Fatal("tanh out of range")
+		}
+		if sg.Data[i] <= 0 || sg.Data[i] >= 1 {
+			t.Fatal("sigmoid out of range")
+		}
+		if x.Data[i] >= 0 && lr.Data[i] != x.Data[i] {
+			t.Fatal("leaky relu positive part wrong")
+		}
+		if x.Data[i] < 0 && math.Abs(lr.Data[i]-0.2*x.Data[i]) > 1e-15 {
+			t.Fatal("leaky relu negative part wrong")
+		}
+		if rl.Data[i] < 0 {
+			t.Fatal("relu negative output")
+		}
+	}
+}
+
+func TestSigmoidStability(t *testing.T) {
+	x := tensor.FromSlice(1, 2, []float64{800, -800})
+	y := NewSigmoid().Forward(x)
+	if y.Data[0] != 1 || y.Data[1] != 0 {
+		t.Fatalf("extreme sigmoid = %v", y.Data)
+	}
+	if math.IsNaN(y.Data[0]) || math.IsNaN(y.Data[1]) {
+		t.Fatal("sigmoid NaN at extremes")
+	}
+}
+
+func TestActivationBackwardBeforeForwardPanics(t *testing.T) {
+	for _, l := range []Layer{NewTanh(), NewSigmoid(), NewLeakyReLU(0.1), NewReLU()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%T Backward before Forward did not panic", l)
+				}
+			}()
+			l.Backward(tensor.New(1, 1))
+		}()
+	}
+}
+
+func TestNetworkCloneIndependence(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	a := MLP([]int{4, 8, 2}, func() Layer { return NewTanh() }, nil, rng)
+	b := a.Clone()
+	if a.ParamsL2() != b.ParamsL2() {
+		t.Fatal("clone differs")
+	}
+	b.Params()[0].Set(0, 0, 99)
+	if a.Params()[0].At(0, 0) == 99 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestCopyParamsFrom(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	a := MLP([]int{3, 5, 2}, func() Layer { return NewTanh() }, nil, rng)
+	b := MLP([]int{3, 5, 2}, func() Layer { return NewTanh() }, nil, rng)
+	if a.ParamsL2() == b.ParamsL2() {
+		t.Fatal("different inits should differ")
+	}
+	if err := b.CopyParamsFrom(a); err != nil {
+		t.Fatal(err)
+	}
+	if a.ParamsL2() != b.ParamsL2() {
+		t.Fatal("copy failed")
+	}
+
+	c := MLP([]int{3, 6, 2}, func() Layer { return NewTanh() }, nil, rng)
+	if err := c.CopyParamsFrom(a); err == nil {
+		t.Fatal("shape mismatch not detected")
+	}
+	d := NewNetwork(NewLinear(3, 5, rng))
+	if err := d.CopyParamsFrom(a); err == nil {
+		t.Fatal("count mismatch not detected")
+	}
+}
+
+func TestEncodeDecodeParams(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	a := MLP([]int{4, 6, 3}, func() Layer { return NewLeakyReLU(0.2) }, nil, rng)
+	data, err := a.EncodeParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := MLP([]int{4, 6, 3}, func() Layer { return NewLeakyReLU(0.2) }, nil, rng)
+	if err := b.DecodeParams(data); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range a.Params() {
+		if !p.Equal(b.Params()[i]) {
+			t.Fatalf("param %d mismatch after decode", i)
+		}
+	}
+
+	wrong := MLP([]int{4, 7, 3}, func() Layer { return NewTanh() }, nil, rng)
+	if err := wrong.DecodeParams(data); err == nil {
+		t.Fatal("decode into wrong architecture accepted")
+	}
+	if err := b.DecodeParams([]byte("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestMLPBuilderShapes(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	g := MLP([]int{64, 256, 256, 784}, func() Layer { return NewTanh() }, func() Layer { return NewTanh() }, rng)
+	// 3 Linear + 3 activations.
+	if len(g.Layers) != 6 {
+		t.Fatalf("layer count %d", len(g.Layers))
+	}
+	want := 64*256 + 256 + 256*256 + 256 + 256*784 + 784
+	if g.NumParams() != want {
+		t.Fatalf("NumParams = %d want %d", g.NumParams(), want)
+	}
+	z := tensor.New(2, 64)
+	tensor.GaussianFill(z, 0, 1, rng)
+	out := g.Forward(z)
+	if out.Rows != 2 || out.Cols != 784 {
+		t.Fatalf("output %d×%d", out.Rows, out.Cols)
+	}
+	if out.Max() > 1 || out.Min() < -1 {
+		t.Fatal("tanh output escaped [-1,1]")
+	}
+
+	noOut := MLP([]int{3, 4}, func() Layer { return NewTanh() }, nil, rng)
+	if len(noOut.Layers) != 1 {
+		t.Fatalf("logit net layer count %d", len(noOut.Layers))
+	}
+}
+
+func TestMLPTooShortPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MLP([]int{3}, nil, nil, tensor.NewRNG(1))
+}
+
+func TestBCELossKnownValue(t *testing.T) {
+	p := tensor.FromSlice(1, 2, []float64{0.9, 0.1})
+	y := tensor.FromSlice(1, 2, []float64{1, 0})
+	loss, grad := BCELoss(p, y)
+	want := -math.Log(0.9)
+	if math.Abs(loss-want) > 1e-12 {
+		t.Fatalf("loss = %v want %v", loss, want)
+	}
+	if grad.Rows != 1 || grad.Cols != 2 {
+		t.Fatal("grad shape")
+	}
+}
+
+func TestBCEWithLogitsMatchesSigmoidBCE(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	z := tensor.New(3, 4)
+	tensor.GaussianFill(z, 0, 2, rng)
+	y := tensor.New(3, 4)
+	for i := range y.Data {
+		y.Data[i] = float64(i % 2)
+	}
+	l1, g1 := BCEWithLogitsLoss(z, y)
+	p := z.Map(sigmoid)
+	l2, g2bce := BCELoss(p, y)
+	if math.Abs(l1-l2) > 1e-9 {
+		t.Fatalf("losses differ: %v vs %v", l1, l2)
+	}
+	// Chain rule: ∂L/∂z = ∂L/∂p · σ'(z)
+	g2 := g2bce.Clone()
+	for i, pv := range p.Data {
+		g2.Data[i] *= pv * (1 - pv)
+	}
+	if !g1.ApproxEqual(g2, 1e-9) {
+		t.Fatal("gradients differ")
+	}
+}
+
+func TestBCELossExtremeProbsFinite(t *testing.T) {
+	p := tensor.FromSlice(1, 2, []float64{0, 1})
+	y := tensor.FromSlice(1, 2, []float64{1, 0})
+	loss, grad := BCELoss(p, y)
+	if math.IsInf(loss, 0) || math.IsNaN(loss) {
+		t.Fatalf("loss not finite: %v", loss)
+	}
+	for _, g := range grad.Data {
+		if math.IsNaN(g) || math.IsInf(g, 0) {
+			t.Fatalf("grad not finite: %v", grad.Data)
+		}
+	}
+}
+
+func TestLossShapeMismatchPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"BCE":    func() { BCELoss(tensor.New(1, 2), tensor.New(2, 1)) },
+		"Logits": func() { BCEWithLogitsLoss(tensor.New(1, 2), tensor.New(2, 1)) },
+		"MSE":    func() { MSELoss(tensor.New(1, 2), tensor.New(2, 1)) },
+		"CE":     func() { SoftmaxCrossEntropy(tensor.New(2, 3), []int{0}) },
+		"CErng":  func() { SoftmaxCrossEntropy(tensor.New(1, 3), []int{5}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		z := tensor.New(1+r.Intn(5), 1+r.Intn(6))
+		tensor.GaussianFill(z, 0, 5, r)
+		p := Softmax(z)
+		for i := 0; i < p.Rows; i++ {
+			s := 0.0
+			for _, v := range p.Row(i) {
+				if v < 0 {
+					return false
+				}
+				s += v
+			}
+			if math.Abs(s-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxExtremeLogitsStable(t *testing.T) {
+	z := tensor.FromSlice(1, 3, []float64{1000, 999, -1000})
+	p := Softmax(z)
+	for _, v := range p.Data {
+		if math.IsNaN(v) {
+			t.Fatal("softmax NaN on extreme logits")
+		}
+	}
+	if p.Data[0] < p.Data[1] || p.Data[1] < p.Data[2] {
+		t.Fatal("softmax ordering broken")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.FromSlice(3, 2, []float64{2, 1, 0, 3, 5, 4})
+	if got := Accuracy(logits, []int{0, 1, 0}); math.Abs(got-1) > 1e-15 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	if got := Accuracy(logits, []int{1, 0, 1}); got != 0 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	if got := Accuracy(tensor.New(0, 2), nil); got != 0 {
+		t.Fatalf("empty accuracy = %v", got)
+	}
+}
+
+func TestSGDStep(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	net := NewNetwork(NewLinear(1, 1, rng))
+	lin := net.Layers[0].(*Linear)
+	lin.W.Set(0, 0, 2)
+	lin.B.Set(0, 0, 0)
+	lin.dW.Set(0, 0, 1)
+	opt := NewSGD(0.1, 0)
+	opt.Step(net)
+	if math.Abs(lin.W.At(0, 0)-1.9) > 1e-15 {
+		t.Fatalf("W after step = %v", lin.W.At(0, 0))
+	}
+	if opt.LearningRate() != 0.1 {
+		t.Fatal("lr getter")
+	}
+	opt.SetLearningRate(0.5)
+	if opt.LearningRate() != 0.5 {
+		t.Fatal("lr setter")
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	net := NewNetwork(NewLinear(1, 1, rng))
+	lin := net.Layers[0].(*Linear)
+	lin.W.Set(0, 0, 0)
+	opt := NewSGD(1, 0.9)
+	lin.dW.Set(0, 0, 1)
+	opt.Step(net) // v = -1, W = -1
+	opt.Step(net) // v = -1.9, W = -2.9
+	if math.Abs(lin.W.At(0, 0)+2.9) > 1e-12 {
+		t.Fatalf("momentum W = %v", lin.W.At(0, 0))
+	}
+	opt.Reset()
+	opt.Step(net) // velocity reset: v=-1, W = -3.9
+	if math.Abs(lin.W.At(0, 0)+3.9) > 1e-12 {
+		t.Fatalf("post-reset W = %v", lin.W.At(0, 0))
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimise (w - 3)² with Adam; w should approach 3.
+	rng := tensor.NewRNG(10)
+	net := NewNetwork(NewLinear(1, 1, rng))
+	lin := net.Layers[0].(*Linear)
+	lin.W.Set(0, 0, -5)
+	lin.B.Set(0, 0, 0)
+	opt := NewAdam(0.1)
+	for i := 0; i < 2000; i++ {
+		net.ZeroGrads()
+		w := lin.W.At(0, 0)
+		lin.dW.Set(0, 0, 2*(w-3))
+		opt.Step(net)
+	}
+	if math.Abs(lin.W.At(0, 0)-3) > 1e-3 {
+		t.Fatalf("Adam did not converge: w = %v", lin.W.At(0, 0))
+	}
+}
+
+func TestAdamResetClearsState(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	net := NewNetwork(NewLinear(1, 1, rng))
+	opt := NewAdam(0.01)
+	net.Layers[0].(*Linear).dW.Set(0, 0, 1)
+	opt.Step(net)
+	if opt.t != 1 {
+		t.Fatalf("t = %d", opt.t)
+	}
+	opt.Reset()
+	if opt.t != 0 || opt.m != nil || opt.v != nil {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestClipGrads(t *testing.T) {
+	rng := tensor.NewRNG(12)
+	net := NewNetwork(NewLinear(2, 2, rng))
+	lin := net.Layers[0].(*Linear)
+	lin.dW.Fill(3)
+	lin.dB.Fill(4)
+	pre := ClipGrads(net, 1)
+	if pre <= 1 {
+		t.Fatalf("pre-clip norm = %v", pre)
+	}
+	post := ClipGrads(net, 0) // no-op query
+	if math.Abs(post-1) > 1e-9 {
+		t.Fatalf("post-clip norm = %v want 1", post)
+	}
+}
+
+func TestZeroGradsClearsAll(t *testing.T) {
+	rng := tensor.NewRNG(13)
+	net := MLP([]int{3, 4, 2}, func() Layer { return NewTanh() }, nil, rng)
+	x := tensor.New(2, 3)
+	tensor.GaussianFill(x, 0, 1, rng)
+	y := tensor.New(2, 2)
+	out := net.Forward(x)
+	_, g := MSELoss(out, y)
+	net.Backward(g)
+	nonzero := false
+	for _, gm := range net.Grads() {
+		if gm.Norm2() > 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("backward produced no gradient")
+	}
+	net.ZeroGrads()
+	for _, gm := range net.Grads() {
+		if gm.Norm2() != 0 {
+			t.Fatal("ZeroGrads left residue")
+		}
+	}
+}
+
+func TestTrainTinyClassifier(t *testing.T) {
+	// End-to-end sanity: learn XOR with a small tanh MLP.
+	rng := tensor.NewRNG(14)
+	net := MLP([]int{2, 8, 1}, func() Layer { return NewTanh() }, nil, rng)
+	opt := NewAdam(0.05)
+	x := tensor.FromSlice(4, 2, []float64{0, 0, 0, 1, 1, 0, 1, 1})
+	y := tensor.FromSlice(4, 1, []float64{0, 1, 1, 0})
+	var loss float64
+	for i := 0; i < 800; i++ {
+		net.ZeroGrads()
+		out := net.Forward(x)
+		var g *tensor.Mat
+		loss, g = BCEWithLogitsLoss(out, y)
+		net.Backward(g)
+		opt.Step(net)
+	}
+	if loss > 0.05 {
+		t.Fatalf("XOR did not converge: loss %v", loss)
+	}
+}

@@ -1,0 +1,252 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"cellgan/internal/tensor"
+)
+
+// Optimizer updates network parameters from accumulated gradients.
+// Implementations keep per-parameter state; one optimizer instance belongs
+// to exactly one network.
+type Optimizer interface {
+	// Step applies one update using the network's current gradients.
+	Step(n *Network)
+	// LearningRate returns the current base learning rate.
+	LearningRate() float64
+	// SetLearningRate replaces the base learning rate. The coevolutionary
+	// hyperparameter mutation calls this every training iteration.
+	SetLearningRate(lr float64)
+	// Reset clears any accumulated moment estimates (used after a genome
+	// is replaced wholesale by a neighbour's).
+	Reset()
+	// StateBinary serialises the optimizer's internal state (moments,
+	// step counters, learning rate) for checkpointing.
+	StateBinary() ([]byte, error)
+	// RestoreBinary reverses StateBinary on an optimizer attached to an
+	// architecturally identical network.
+	RestoreBinary(data []byte) error
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity []*tensor.Mat
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD { return &SGD{LR: lr, Momentum: momentum} }
+
+// Step applies v = μv - lr·g; p += v (or the memoryless update when μ=0).
+func (s *SGD) Step(n *Network) {
+	params := n.Params()
+	grads := n.Grads()
+	if s.Momentum == 0 {
+		for i, p := range params {
+			p.AddScaled(-s.LR, grads[i])
+		}
+		return
+	}
+	if len(s.velocity) != len(params) {
+		s.velocity = make([]*tensor.Mat, len(params))
+		for i, p := range params {
+			s.velocity[i] = tensor.New(p.Rows, p.Cols)
+		}
+	}
+	for i, p := range params {
+		v := s.velocity[i]
+		v.Scale(s.Momentum)
+		v.AddScaled(-s.LR, grads[i])
+		p.Add(v)
+	}
+}
+
+// LearningRate returns the current learning rate.
+func (s *SGD) LearningRate() float64 { return s.LR }
+
+// SetLearningRate replaces the learning rate.
+func (s *SGD) SetLearningRate(lr float64) { s.LR = lr }
+
+// Reset clears the momentum buffers.
+func (s *SGD) Reset() { s.velocity = nil }
+
+// StateBinary serialises the learning rate, momentum and velocity
+// buffers.
+func (s *SGD) StateBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	writeF64(&buf, s.LR)
+	writeF64(&buf, s.Momentum)
+	if err := tensor.EncodeMats(&buf, s.velocity); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreBinary reverses StateBinary.
+func (s *SGD) RestoreBinary(data []byte) error {
+	rd := bytes.NewReader(data)
+	var err error
+	if s.LR, err = readF64(rd); err != nil {
+		return fmt.Errorf("nn: SGD state: %w", err)
+	}
+	if s.Momentum, err = readF64(rd); err != nil {
+		return fmt.Errorf("nn: SGD state: %w", err)
+	}
+	vel, err := tensor.DecodeMats(rd)
+	if err != nil {
+		return fmt.Errorf("nn: SGD velocity: %w", err)
+	}
+	if len(vel) == 0 {
+		vel = nil
+	}
+	s.velocity = vel
+	return nil
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba) — the paper's Table I
+// optimizer with initial learning rate 2e-4.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	t int
+	m []*tensor.Mat
+	v []*tensor.Mat
+}
+
+// NewAdam returns an Adam optimizer with the conventional β₁=0.9,
+// β₂=0.999, ε=1e-8 defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Step applies one bias-corrected Adam update.
+func (a *Adam) Step(n *Network) {
+	params := n.Params()
+	grads := n.Grads()
+	if len(a.m) != len(params) {
+		a.m = make([]*tensor.Mat, len(params))
+		a.v = make([]*tensor.Mat, len(params))
+		for i, p := range params {
+			a.m[i] = tensor.New(p.Rows, p.Cols)
+			a.v[i] = tensor.New(p.Rows, p.Cols)
+		}
+		a.t = 0
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		g := grads[i]
+		m, v := a.m[i], a.v[i]
+		for j, gj := range g.Data {
+			m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*gj
+			v.Data[j] = a.Beta2*v.Data[j] + (1-a.Beta2)*gj*gj
+			mhat := m.Data[j] / c1
+			vhat := v.Data[j] / c2
+			p.Data[j] -= a.LR * mhat / (math.Sqrt(vhat) + a.Epsilon)
+		}
+	}
+}
+
+// LearningRate returns the current learning rate.
+func (a *Adam) LearningRate() float64 { return a.LR }
+
+// SetLearningRate replaces the learning rate.
+func (a *Adam) SetLearningRate(lr float64) { a.LR = lr }
+
+// Reset clears moment estimates and the step counter.
+func (a *Adam) Reset() {
+	a.m = nil
+	a.v = nil
+	a.t = 0
+}
+
+// StateBinary serialises the hyperparameters, step counter and both
+// moment-estimate buffers.
+func (a *Adam) StateBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	writeF64(&buf, a.LR)
+	writeF64(&buf, a.Beta1)
+	writeF64(&buf, a.Beta2)
+	writeF64(&buf, a.Epsilon)
+	writeF64(&buf, float64(a.t))
+	if err := tensor.EncodeMats(&buf, a.m); err != nil {
+		return nil, err
+	}
+	if err := tensor.EncodeMats(&buf, a.v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreBinary reverses StateBinary.
+func (a *Adam) RestoreBinary(data []byte) error {
+	rd := bytes.NewReader(data)
+	fields := []*float64{&a.LR, &a.Beta1, &a.Beta2, &a.Epsilon}
+	for _, f := range fields {
+		v, err := readF64(rd)
+		if err != nil {
+			return fmt.Errorf("nn: Adam state: %w", err)
+		}
+		*f = v
+	}
+	tf, err := readF64(rd)
+	if err != nil {
+		return fmt.Errorf("nn: Adam step counter: %w", err)
+	}
+	a.t = int(tf)
+	if a.m, err = tensor.DecodeMats(rd); err != nil {
+		return fmt.Errorf("nn: Adam first moments: %w", err)
+	}
+	if a.v, err = tensor.DecodeMats(rd); err != nil {
+		return fmt.Errorf("nn: Adam second moments: %w", err)
+	}
+	if len(a.m) == 0 {
+		a.m, a.v = nil, nil
+	}
+	return nil
+}
+
+func writeF64(buf *bytes.Buffer, v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	buf.Write(b[:])
+}
+
+func readF64(rd *bytes.Reader) (float64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(rd, b[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
+}
+
+// ClipGrads scales the network's gradients so their global L2 norm does not
+// exceed maxNorm; it returns the pre-clip norm. A non-positive maxNorm is a
+// no-op. Gradient clipping guards the GAN updates against the gradient
+// explosion pathology discussed in the paper's introduction.
+func ClipGrads(n *Network, maxNorm float64) float64 {
+	s := 0.0
+	grads := n.Grads()
+	for _, g := range grads {
+		for _, v := range g.Data {
+			s += v * v
+		}
+	}
+	norm := math.Sqrt(s)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := maxNorm / norm
+		for _, g := range grads {
+			g.Scale(scale)
+		}
+	}
+	return norm
+}

@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"cellgan/internal/tensor"
+)
+
+// trainSteps applies n identical gradient steps so optimizer state builds
+// up deterministically.
+func trainSteps(net *Network, opt Optimizer, n int) {
+	lin := net.Layers[0].(*Linear)
+	for i := 0; i < n; i++ {
+		net.ZeroGrads()
+		w := lin.W.At(0, 0)
+		lin.dW.Set(0, 0, 2*(w-3))
+		opt.Step(net)
+	}
+}
+
+func TestAdamStateResumeBitExact(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	full := NewNetwork(NewLinear(1, 1, rng))
+	fullOpt := NewAdam(0.05)
+	trainSteps(full, fullOpt, 20)
+
+	half := NewNetwork(NewLinear(1, 1, tensor.NewRNG(1)))
+	halfOpt := NewAdam(0.05)
+	trainSteps(half, halfOpt, 10)
+	state, err := halfOpt.StateBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumedOpt := NewAdam(0.999) // wrong lr, overwritten by restore
+	if err := resumedOpt.RestoreBinary(state); err != nil {
+		t.Fatal(err)
+	}
+	if resumedOpt.LearningRate() != 0.05 {
+		t.Fatalf("restored lr %v", resumedOpt.LearningRate())
+	}
+	trainSteps(half, resumedOpt, 10)
+	if got, want := half.Layers[0].(*Linear).W.At(0, 0), full.Layers[0].(*Linear).W.At(0, 0); got != want {
+		t.Fatalf("resumed Adam diverged: %v vs %v", got, want)
+	}
+}
+
+func TestSGDStateResumeBitExact(t *testing.T) {
+	full := NewNetwork(NewLinear(1, 1, tensor.NewRNG(2)))
+	fullOpt := NewSGD(0.01, 0.9)
+	trainSteps(full, fullOpt, 12)
+
+	half := NewNetwork(NewLinear(1, 1, tensor.NewRNG(2)))
+	halfOpt := NewSGD(0.01, 0.9)
+	trainSteps(half, halfOpt, 6)
+	state, err := halfOpt.StateBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := NewSGD(0.5, 0.1)
+	if err := resumed.RestoreBinary(state); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.LR != 0.01 || resumed.Momentum != 0.9 {
+		t.Fatalf("restored hyperparams %v/%v", resumed.LR, resumed.Momentum)
+	}
+	trainSteps(half, resumed, 6)
+	if got, want := half.Layers[0].(*Linear).W.At(0, 0), full.Layers[0].(*Linear).W.At(0, 0); got != want {
+		t.Fatalf("resumed SGD diverged: %v vs %v", got, want)
+	}
+}
+
+func TestOptimizerStateBeforeAnyStep(t *testing.T) {
+	// State of a never-stepped optimizer must round-trip too (fresh
+	// checkpoints).
+	for _, opt := range []Optimizer{NewAdam(0.1), NewSGD(0.1, 0.5)} {
+		state, err := opt.StateBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := opt.RestoreBinary(state); err != nil {
+			t.Fatalf("%T: %v", opt, err)
+		}
+	}
+}
+
+func TestRestoreBinaryRejectsGarbage(t *testing.T) {
+	for _, opt := range []Optimizer{NewAdam(0.1), NewSGD(0.1, 0)} {
+		if err := opt.RestoreBinary([]byte{1, 2}); err == nil {
+			t.Fatalf("%T accepted garbage", opt)
+		}
+	}
+}
+
+func TestAdamRestoredMomentsMatchOriginal(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	net := NewNetwork(NewLinear(2, 2, rng))
+	opt := NewAdam(0.01)
+	lin := net.Layers[0].(*Linear)
+	lin.dW.Fill(0.5)
+	lin.dB.Fill(-0.5)
+	opt.Step(net)
+	state, err := opt.StateBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewAdam(0.01)
+	if err := restored.RestoreBinary(state); err != nil {
+		t.Fatal(err)
+	}
+	if restored.t != opt.t {
+		t.Fatalf("t %d vs %d", restored.t, opt.t)
+	}
+	for i := range opt.m {
+		for j := range opt.m[i].Data {
+			if math.Abs(restored.m[i].Data[j]-opt.m[i].Data[j]) != 0 {
+				t.Fatal("first moments differ")
+			}
+			if restored.v[i].Data[j] != opt.v[i].Data[j] {
+				t.Fatal("second moments differ")
+			}
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package perfmodel is the calibrated analytic cost model behind the
+// reproduction of the paper's Tables III and IV. The benchmark machine for
+// this reproduction has a single CPU core, so wall-clock speedups of a
+// 17-process MPI job cannot be measured directly; instead, the model
+// captures the execution-time structure the paper reports and regenerates
+// the tables from it, while the real engine (internal/core) demonstrates
+// the algorithm and communication structure at reduced scale.
+//
+// Calibration. The paper's own numbers constrain the model tightly:
+//
+//   - Single-core time is almost exactly affine in the cell count n:
+//     single(n) = a·n − b  (fitting Table III within 0.5%: a = 131.6 min,
+//     b = 185.1 min for 200 iterations). The negative intercept reflects
+//     the "efficient management of the required memory": per-cell cost
+//     grows toward an asymptote a as more networks stay resident, which is
+//     precisely the effect the authors credit for the superlinear 2×2 and
+//     3×3 speedups.
+//
+//   - Distributed time is affine in n as well: dist(n) = c + d·n
+//     (c = 10.85 min base compute per slave, d = 7.24 min per additional
+//     slave of communication/management overhead), matching the paper's
+//     observation that overhead grows with resource count and pushes the
+//     4×4 speedup below linear.
+//
+//   - The per-routine profile (Table IV) follows Amdahl's law per routine:
+//     dist = single·(f/n + (1−f)) with a parallel fraction f calibrated to
+//     the published 4×4 profile (train f≈0.89, update genomes f≈0.98,
+//     mutate f≈0.32, gather f=0 — communication does not parallelise).
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Minutes is a duration in minutes, the paper's reporting unit.
+type Minutes = float64
+
+// ScalingParams model total execution time as a function of the grid cell
+// count for the single-core and distributed implementations.
+type ScalingParams struct {
+	// Iterations the model is calibrated for (the paper's 200).
+	Iterations int
+	// SingleSlope (a) and SingleOffset (b): single(n) = a·n − b.
+	SingleSlope, SingleOffset Minutes
+	// DistBase (c) and DistPerSlave (d): dist(n) = c + d·n.
+	DistBase, DistPerSlave Minutes
+}
+
+// CalibratedScaling returns the parameters fitted to the paper's Table III
+// (200 iterations, MNIST, MLP topology of Table I).
+func CalibratedScaling() ScalingParams {
+	return ScalingParams{
+		Iterations:   200,
+		SingleSlope:  131.6,
+		SingleOffset: 185.1,
+		DistBase:     10.85,
+		DistPerSlave: 7.24,
+	}
+}
+
+// scale adjusts a calibrated time for a different iteration budget.
+func (p ScalingParams) scale(t Minutes, iterations int) Minutes {
+	if iterations <= 0 || iterations == p.Iterations {
+		return t
+	}
+	return t * float64(iterations) / float64(p.Iterations)
+}
+
+// SingleCore predicts the single-core execution time for n grid cells.
+func (p ScalingParams) SingleCore(n, iterations int) (Minutes, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("perfmodel: cell count %d must be positive", n)
+	}
+	t := p.SingleSlope*float64(n) - p.SingleOffset
+	if t <= 0 {
+		// Tiny grids outside the calibrated regime: fall back to the
+		// asymptotic per-cell cost without the memory-pressure discount.
+		t = p.SingleSlope * float64(n) * 0.25
+	}
+	return p.scale(t, iterations), nil
+}
+
+// Distributed predicts the distributed execution time for n grid cells
+// (one slave per cell).
+func (p ScalingParams) Distributed(n, iterations int) (Minutes, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("perfmodel: cell count %d must be positive", n)
+	}
+	return p.scale(p.DistBase+p.DistPerSlave*float64(n), iterations), nil
+}
+
+// Speedup predicts single/distributed for n grid cells.
+func (p ScalingParams) Speedup(n int) (float64, error) {
+	s, err := p.SingleCore(n, p.Iterations)
+	if err != nil {
+		return 0, err
+	}
+	d, err := p.Distributed(n, p.Iterations)
+	if err != nil {
+		return 0, err
+	}
+	return s / d, nil
+}
+
+// RowIII is one line of the paper's Table III.
+type RowIII struct {
+	Grid        string
+	Cells       int
+	SingleCore  Minutes
+	Distributed Minutes
+	// DistributedStd is a modelled run-to-run standard deviation: the
+	// paper's ten best-effort-queue runs show a spread that grows with
+	// the process count.
+	DistributedStd Minutes
+	Speedup        float64
+}
+
+// TableIII generates the modelled Table III for square grids of the given
+// sides (the paper uses 2, 3 and 4).
+func (p ScalingParams) TableIII(sides []int) ([]RowIII, error) {
+	rows := make([]RowIII, 0, len(sides))
+	for _, m := range sides {
+		n := m * m
+		s, err := p.SingleCore(n, p.Iterations)
+		if err != nil {
+			return nil, err
+		}
+		d, err := p.Distributed(n, p.Iterations)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, RowIII{
+			Grid:        fmt.Sprintf("%d×%d", m, m),
+			Cells:       n,
+			SingleCore:  s,
+			Distributed: d,
+			// Non-determinism of the shared platform: ~0–3% of the run,
+			// growing with the number of processes involved.
+			DistributedStd: d * 0.027 * (float64(n) - 4) / 12,
+			Speedup:        s / d,
+		})
+	}
+	return rows, nil
+}
+
+// RoutineModel describes one profiled routine: its single-core cost at the
+// calibration point and the fraction of it that parallelises.
+type RoutineModel struct {
+	Name string
+	// SingleCore is the routine's single-core time at the calibration
+	// grid (4×4, 200 iterations).
+	SingleCore Minutes
+	// ParallelFraction f is the Amdahl parallel share of the routine.
+	ParallelFraction float64
+}
+
+// Distributed predicts the routine's distributed time over n workers:
+// single·(f/n + (1−f)).
+func (r RoutineModel) Distributed(n int) (Minutes, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("perfmodel: worker count %d must be positive", n)
+	}
+	if r.ParallelFraction < 0 || r.ParallelFraction > 1 {
+		return 0, fmt.Errorf("perfmodel: parallel fraction %g outside [0,1]", r.ParallelFraction)
+	}
+	return r.SingleCore * (r.ParallelFraction/float64(n) + (1 - r.ParallelFraction)), nil
+}
+
+// CalibratedRoutines returns the four routines of the paper's Table IV
+// with parallel fractions fitted to the published 4×4 profile.
+func CalibratedRoutines() []RoutineModel {
+	return []RoutineModel{
+		{Name: "gather", SingleCore: 19.4, ParallelFraction: 0},
+		{Name: "train", SingleCore: 264.9, ParallelFraction: 0.8903},
+		{Name: "update genomes", SingleCore: 199.8, ParallelFraction: 0.97680},
+		{Name: "mutate", SingleCore: 25.6, ParallelFraction: 0.3209},
+	}
+}
+
+// RowIV is one line of the paper's Table IV.
+type RowIV struct {
+	Routine     string
+	SingleCore  Minutes
+	Distributed Minutes
+	// Acceleration is the percentage reduction of execution time.
+	Acceleration float64
+	Speedup      float64
+}
+
+// TableIV generates the modelled per-routine profile for n workers,
+// appending the "overall" summary row the paper reports.
+func TableIV(routines []RoutineModel, n int) ([]RowIV, error) {
+	rows := make([]RowIV, 0, len(routines)+1)
+	var sSum, dSum Minutes
+	for _, r := range routines {
+		d, err := r.Distributed(n)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, RowIV{
+			Routine:      r.Name,
+			SingleCore:   r.SingleCore,
+			Distributed:  d,
+			Acceleration: (1 - d/r.SingleCore) * 100,
+			Speedup:      r.SingleCore / d,
+		})
+		sSum += r.SingleCore
+		dSum += d
+	}
+	rows = append(rows, RowIV{
+		Routine:      "overall",
+		SingleCore:   sSum,
+		Distributed:  dSum,
+		Acceleration: (1 - dSum/sSum) * 100,
+		Speedup:      sSum / dSum,
+	})
+	return rows, nil
+}
+
+// FitAffine fits y = a·x + b to the given points by least squares,
+// returning (a, b). It is the calibration helper used to re-derive the
+// model constants from measured data (see the calibration test, which
+// recovers the Table III constants from the paper's published numbers).
+func FitAffine(xs, ys []float64) (a, b float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, fmt.Errorf("perfmodel: need ≥2 aligned points, got %d/%d", len(xs), len(ys))
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if math.Abs(den) < 1e-12 {
+		return 0, 0, fmt.Errorf("perfmodel: degenerate x values")
+	}
+	a = (n*sxy - sx*sy) / den
+	b = (sy - a*sx) / n
+	return a, b, nil
+}

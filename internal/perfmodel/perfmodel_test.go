@@ -1,0 +1,226 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// paper values from Table III.
+var paperIII = []struct {
+	side    int
+	single  Minutes
+	dist    Minutes
+	speedup float64
+}{
+	{2, 339.6, 39.81, 8.53},
+	{3, 999.5, 73.24, 13.65},
+	{4, 1920.0, 126.68, 15.17},
+}
+
+func within(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	if math.Abs(got-want) > relTol*math.Abs(want) {
+		t.Fatalf("%s = %v, want %v (±%.0f%%)", name, got, want, relTol*100)
+	}
+}
+
+func TestTableIIIMatchesPaperShape(t *testing.T) {
+	p := CalibratedScaling()
+	rows, err := p.TableIII([]int{2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for i, want := range paperIII {
+		within(t, "single "+rows[i].Grid, rows[i].SingleCore, want.single, 0.02)
+		within(t, "dist "+rows[i].Grid, rows[i].Distributed, want.dist, 0.05)
+		within(t, "speedup "+rows[i].Grid, rows[i].Speedup, want.speedup, 0.05)
+	}
+}
+
+func TestSuperlinearThenSublinear(t *testing.T) {
+	// The paper's headline shape: superlinear speedups at 2×2 and 3×3,
+	// sublinear at 4×4.
+	p := CalibratedScaling()
+	for _, tc := range []struct {
+		side        int
+		superlinear bool
+	}{{2, true}, {3, true}, {4, false}} {
+		n := tc.side * tc.side
+		s, err := p.Speedup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.superlinear && s <= float64(n) {
+			t.Fatalf("%d×%d speedup %v not superlinear", tc.side, tc.side, s)
+		}
+		if !tc.superlinear && s >= float64(n) {
+			t.Fatalf("%d×%d speedup %v not sublinear", tc.side, tc.side, s)
+		}
+	}
+}
+
+func TestSpeedupMonotonicInGridSize(t *testing.T) {
+	p := CalibratedScaling()
+	prev := 0.0
+	for _, side := range []int{2, 3, 4, 5} {
+		s, err := p.Speedup(side * side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s <= prev {
+			t.Fatalf("speedup not increasing at %d×%d: %v after %v", side, side, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestScalingValidationAndIterations(t *testing.T) {
+	p := CalibratedScaling()
+	if _, err := p.SingleCore(0, 200); err == nil {
+		t.Fatal("zero cells accepted")
+	}
+	if _, err := p.Distributed(-1, 200); err == nil {
+		t.Fatal("negative cells accepted")
+	}
+	full, err := p.SingleCore(16, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := p.SingleCore(16, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "iteration scaling", half, full/2, 1e-9)
+	// A 1-cell "grid" is outside the calibrated regime but must still
+	// return something positive.
+	one, err := p.SingleCore(1, 200)
+	if err != nil || one <= 0 {
+		t.Fatalf("1-cell single %v err %v", one, err)
+	}
+}
+
+func TestTableIVMatchesPaper(t *testing.T) {
+	paper := []struct {
+		routine string
+		single  Minutes
+		dist    Minutes
+		accel   float64
+		speedup float64
+	}{
+		{"gather", 19.4, 19.4, 0.0, 1.00},
+		{"train", 264.9, 43.8, 83.5, 6.05},
+		{"update genomes", 199.8, 16.8, 91.6, 11.87},
+		{"mutate", 25.6, 17.9, 29.9, 1.43},
+		{"overall", 509.6, 97.9, 80.8, 5.21},
+	}
+	rows, err := TableIV(CalibratedRoutines(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for i, want := range paper {
+		if rows[i].Routine != want.routine {
+			t.Fatalf("row %d routine %q want %q", i, rows[i].Routine, want.routine)
+		}
+		within(t, want.routine+" single", rows[i].SingleCore, want.single, 0.01)
+		within(t, want.routine+" dist", rows[i].Distributed, want.dist, 0.01)
+		within(t, want.routine+" speedup", rows[i].Speedup, want.speedup, 0.01)
+		if math.Abs(rows[i].Acceleration-want.accel) > 1 {
+			t.Fatalf("%s acceleration %v want %v", want.routine, rows[i].Acceleration, want.accel)
+		}
+	}
+}
+
+func TestRoutineOrderingPreserved(t *testing.T) {
+	// The paper's key observation: update genomes parallelises best, then
+	// train; mutate barely; gather not at all.
+	rows, err := TableIV(CalibratedRoutines(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := map[string]float64{}
+	for _, r := range rows {
+		by[r.Routine] = r.Speedup
+	}
+	if !(by["update genomes"] > by["train"] && by["train"] > by["mutate"] && by["mutate"] > by["gather"]) {
+		t.Fatalf("routine speedup ordering broken: %v", by)
+	}
+	if math.Abs(by["gather"]-1) > 1e-9 {
+		t.Fatalf("gather speedup %v want exactly 1", by["gather"])
+	}
+}
+
+func TestRoutineModelValidation(t *testing.T) {
+	r := RoutineModel{Name: "x", SingleCore: 10, ParallelFraction: 0.5}
+	if _, err := r.Distributed(0); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	bad := RoutineModel{Name: "x", SingleCore: 10, ParallelFraction: 1.5}
+	if _, err := bad.Distributed(4); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+	// Amdahl limits: fully parallel halves with 2 workers; fully serial
+	// never improves.
+	full := RoutineModel{SingleCore: 10, ParallelFraction: 1}
+	d, err := full.Distributed(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "fully parallel", d, 5, 1e-9)
+	serial := RoutineModel{SingleCore: 10, ParallelFraction: 0}
+	d, err = serial.Distributed(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "fully serial", d, 10, 1e-9)
+}
+
+func TestFitAffineRecoversTableIIIConstants(t *testing.T) {
+	// Calibration provenance: fitting the paper's single-core numbers
+	// recovers the model constants.
+	xs := []float64{4, 9, 16}
+	ys := []float64{339.6, 999.5, 1920.0}
+	a, b, err := FitAffine(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "slope", a, 131.6, 0.01)
+	within(t, "offset", -b, 185.1, 0.03)
+	// And the distributed side.
+	yd := []float64{39.81, 73.24, 126.68}
+	a, b, err = FitAffine(xs, yd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "dist slope", a, 7.24, 0.02)
+	within(t, "dist base", b, 10.85, 0.25)
+}
+
+func TestFitAffineValidation(t *testing.T) {
+	if _, _, err := FitAffine([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, _, err := FitAffine([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("misaligned accepted")
+	}
+	if _, _, err := FitAffine([]float64{3, 3}, []float64{1, 2}); err == nil {
+		t.Fatal("degenerate x accepted")
+	}
+}
+
+func TestTableIIIStdGrowsWithGrid(t *testing.T) {
+	// The paper reports ±0.01, ±2.56, ±3.42: spread grows with processes.
+	rows, err := CalibratedScaling().TableIII([]int{2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rows[0].DistributedStd < rows[1].DistributedStd && rows[1].DistributedStd < rows[2].DistributedStd) {
+		t.Fatalf("std not increasing: %v %v %v",
+			rows[0].DistributedStd, rows[1].DistributedStd, rows[2].DistributedStd)
+	}
+}

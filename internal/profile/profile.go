@@ -1,0 +1,193 @@
+// Package profile provides the routine-level timing instrumentation behind
+// the paper's Table IV: per-routine accumulated wall-clock time for the
+// four dominant GAN-training routines (train, update genomes, mutate,
+// gather), collected concurrently across cells and mergeable across
+// processes.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Routine names matching the paper's profile rows.
+const (
+	RoutineTrain         = "train"
+	RoutineUpdateGenomes = "update genomes"
+	RoutineMutate        = "mutate"
+	RoutineGather        = "gather"
+)
+
+// Stat is the accumulated timing of one routine.
+type Stat struct {
+	// Count is the number of recorded invocations.
+	Count int64
+	// Total is the accumulated wall-clock time.
+	Total time.Duration
+}
+
+// Mean returns the average duration per invocation (0 when unused).
+func (s Stat) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// Profiler accumulates per-routine timings. The zero value is unusable;
+// call New. All methods are safe for concurrent use.
+type Profiler struct {
+	mu    sync.Mutex
+	stats map[string]*Stat
+	// now allows tests to substitute a fake clock.
+	now func() time.Time
+}
+
+// New returns an empty profiler.
+func New() *Profiler {
+	return &Profiler{stats: make(map[string]*Stat), now: time.Now}
+}
+
+// Add records a completed invocation of routine with duration d.
+func (p *Profiler) Add(routine string, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats[routine]
+	if s == nil {
+		s = &Stat{}
+		p.stats[routine] = s
+	}
+	s.Count++
+	s.Total += d
+}
+
+// Start begins timing routine and returns a stop function that records the
+// elapsed time. Typical use: defer p.Start(profile.RoutineTrain)().
+func (p *Profiler) Start(routine string) func() {
+	t0 := p.now()
+	return func() {
+		p.Add(routine, p.now().Sub(t0))
+	}
+}
+
+// Time runs fn under the timer for routine.
+func (p *Profiler) Time(routine string, fn func()) {
+	defer p.Start(routine)()
+	fn()
+}
+
+// Get returns the stat for routine (zero Stat when never recorded).
+func (p *Profiler) Get(routine string) Stat {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s := p.stats[routine]; s != nil {
+		return *s
+	}
+	return Stat{}
+}
+
+// Snapshot returns a copy of all routine stats.
+func (p *Profiler) Snapshot() map[string]Stat {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]Stat, len(p.stats))
+	for k, v := range p.stats {
+		out[k] = *v
+	}
+	return out
+}
+
+// Merge folds a snapshot (e.g. gathered from another process) into p.
+func (p *Profiler) Merge(snap map[string]Stat) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for k, v := range snap {
+		s := p.stats[k]
+		if s == nil {
+			s = &Stat{}
+			p.stats[k] = s
+		}
+		s.Count += v.Count
+		s.Total += v.Total
+	}
+}
+
+// Reset clears all accumulated stats.
+func (p *Profiler) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = make(map[string]*Stat)
+}
+
+// Overall returns the sum of Total across all routines.
+func (p *Profiler) Overall() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total time.Duration
+	for _, s := range p.stats {
+		total += s.Total
+	}
+	return total
+}
+
+// EncodeSnapshot serialises a snapshot for transport between processes.
+func EncodeSnapshot(snap map[string]Stat) []byte {
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		s := snap[k]
+		fmt.Fprintf(&b, "%s\x00%d\x00%d\n", k, s.Count, int64(s.Total))
+	}
+	return []byte(b.String())
+}
+
+// DecodeSnapshot reverses EncodeSnapshot.
+func DecodeSnapshot(data []byte) (map[string]Stat, error) {
+	out := make(map[string]Stat)
+	if len(data) == 0 {
+		return out, nil
+	}
+	for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		parts := strings.Split(line, "\x00")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("profile: malformed snapshot line %q", line)
+		}
+		var count, total int64
+		if _, err := fmt.Sscanf(parts[1], "%d", &count); err != nil {
+			return nil, fmt.Errorf("profile: bad count in %q: %w", line, err)
+		}
+		if _, err := fmt.Sscanf(parts[2], "%d", &total); err != nil {
+			return nil, fmt.Errorf("profile: bad total in %q: %w", line, err)
+		}
+		out[parts[0]] = Stat{Count: count, Total: time.Duration(total)}
+	}
+	return out, nil
+}
+
+// Report renders the profiler state as aligned text rows sorted by
+// descending total time.
+func (p *Profiler) Report() string {
+	snap := p.Snapshot()
+	type row struct {
+		name string
+		s    Stat
+	}
+	rows := make([]row, 0, len(snap))
+	for k, v := range snap {
+		rows = append(rows, row{k, v})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].s.Total > rows[j].s.Total })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %10s %14s %14s\n", "routine", "calls", "total", "mean")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %10d %14s %14s\n", r.name, r.s.Count, r.s.Total, r.s.Mean())
+	}
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package profile
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAddAndGet(t *testing.T) {
+	p := New()
+	p.Add(RoutineTrain, 2*time.Second)
+	p.Add(RoutineTrain, 3*time.Second)
+	s := p.Get(RoutineTrain)
+	if s.Count != 2 || s.Total != 5*time.Second {
+		t.Fatalf("stat %+v", s)
+	}
+	if s.Mean() != 2500*time.Millisecond {
+		t.Fatalf("mean %v", s.Mean())
+	}
+	if got := p.Get("missing"); got.Count != 0 || got.Total != 0 {
+		t.Fatalf("missing stat %+v", got)
+	}
+	if (Stat{}).Mean() != 0 {
+		t.Fatal("zero stat mean")
+	}
+}
+
+func TestStartStopFakeClock(t *testing.T) {
+	p := New()
+	now := time.Unix(0, 0)
+	p.now = func() time.Time { return now }
+	stop := p.Start(RoutineMutate)
+	now = now.Add(42 * time.Millisecond)
+	stop()
+	s := p.Get(RoutineMutate)
+	if s.Count != 1 || s.Total != 42*time.Millisecond {
+		t.Fatalf("stat %+v", s)
+	}
+}
+
+func TestTimeWrapper(t *testing.T) {
+	p := New()
+	ran := false
+	p.Time(RoutineGather, func() { ran = true })
+	if !ran {
+		t.Fatal("fn not invoked")
+	}
+	if p.Get(RoutineGather).Count != 1 {
+		t.Fatal("not recorded")
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	p := New()
+	p.Add("a", time.Second)
+	snap := p.Snapshot()
+	snap["a"] = Stat{Count: 99, Total: 99}
+	if p.Get("a").Count != 1 {
+		t.Fatal("snapshot aliased internal state")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	p := New()
+	p.Add("a", time.Second)
+	p.Merge(map[string]Stat{
+		"a": {Count: 2, Total: 3 * time.Second},
+		"b": {Count: 1, Total: time.Second},
+	})
+	if s := p.Get("a"); s.Count != 3 || s.Total != 4*time.Second {
+		t.Fatalf("merged a: %+v", s)
+	}
+	if s := p.Get("b"); s.Count != 1 {
+		t.Fatalf("merged b: %+v", s)
+	}
+	if p.Overall() != 5*time.Second {
+		t.Fatalf("overall %v", p.Overall())
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New()
+	p.Add("a", time.Second)
+	p.Reset()
+	if p.Overall() != 0 || len(p.Snapshot()) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestEncodeDecodeSnapshot(t *testing.T) {
+	snap := map[string]Stat{
+		RoutineTrain:  {Count: 10, Total: 123456789},
+		RoutineGather: {Count: 3, Total: 42},
+	}
+	got, err := DecodeSnapshot(EncodeSnapshot(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d entries", len(got))
+	}
+	for k, v := range snap {
+		if got[k] != v {
+			t.Fatalf("entry %q: %+v want %+v", k, got[k], v)
+		}
+	}
+	empty, err := DecodeSnapshot(nil)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty decode: %v %v", empty, err)
+	}
+	if _, err := DecodeSnapshot([]byte("bad line\n")); err == nil {
+		t.Fatal("malformed snapshot accepted")
+	}
+	if _, err := DecodeSnapshot([]byte("a\x00x\x001\n")); err == nil {
+		t.Fatal("bad count accepted")
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.Add(RoutineTrain, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := p.Get(RoutineTrain); s.Count != 8000 {
+		t.Fatalf("count %d", s.Count)
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	p := New()
+	p.Add(RoutineTrain, 10*time.Second)
+	p.Add(RoutineMutate, time.Second)
+	rep := p.Report()
+	lines := strings.Split(strings.TrimRight(rep, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("report lines %d:\n%s", len(lines), rep)
+	}
+	if !strings.Contains(lines[0], "routine") {
+		t.Fatal("missing header")
+	}
+	// Sorted by descending total: train first.
+	if !strings.Contains(lines[1], RoutineTrain) {
+		t.Fatalf("wrong order:\n%s", rep)
+	}
+}

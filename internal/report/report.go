@@ -1,0 +1,166 @@
+// Package report renders experiment outputs as aligned text tables and
+// horizontal bar charts, the terminal equivalents of the paper's tables
+// and Fig 4.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is an aligned-column text table.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; missing cells render empty, extra cells are
+// dropped to the header width.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if l := len([]rune(c)); l > widths[i] {
+				widths[i] = l
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for pad := widths[i] - len([]rune(c)); pad > 0; pad-- {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.headers)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// BarChart renders grouped horizontal bars, e.g. single-core vs
+// distributed time per routine (the paper's Fig 4).
+type BarChart struct {
+	Title string
+	// Unit is appended to printed values.
+	Unit string
+	// Width is the maximum bar width in characters (default 40).
+	Width int
+
+	series []string
+	labels []string
+	values [][]float64 // values[group][series]
+}
+
+// NewBarChart returns a chart with the given series names.
+func NewBarChart(title, unit string, series ...string) *BarChart {
+	return &BarChart{Title: title, Unit: unit, series: series}
+}
+
+// Add appends one group of bars (one value per series).
+func (b *BarChart) Add(label string, values ...float64) error {
+	if len(values) != len(b.series) {
+		return fmt.Errorf("report: group %q has %d values, chart has %d series", label, len(values), len(b.series))
+	}
+	b.labels = append(b.labels, label)
+	b.values = append(b.values, append([]float64(nil), values...))
+	return nil
+}
+
+// String renders the chart.
+func (b *BarChart) String() string {
+	width := b.Width
+	if width <= 0 {
+		width = 40
+	}
+	max := 0.0
+	for _, group := range b.values {
+		for _, v := range group {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	labelW := 0
+	for _, l := range b.labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	seriesW := 0
+	for _, s := range b.series {
+		if len(s) > seriesW {
+			seriesW = len(s)
+		}
+	}
+	glyphs := []byte{'#', '=', '+', 'o', '*'}
+	var out strings.Builder
+	if b.Title != "" {
+		out.WriteString(b.Title)
+		out.WriteByte('\n')
+	}
+	for gi, label := range b.labels {
+		for si, v := range b.values[gi] {
+			n := 0
+			if max > 0 {
+				n = int(v/max*float64(width) + 0.5)
+			}
+			if n == 0 && v > 0 {
+				n = 1
+			}
+			g := glyphs[si%len(glyphs)]
+			fmt.Fprintf(&out, "%-*s  %-*s |%s%s %.2f%s\n",
+				labelW, onceOnly(label, si), seriesW, b.series[si],
+				strings.Repeat(string(g), n), strings.Repeat(" ", width-n), v, b.Unit)
+		}
+	}
+	return out.String()
+}
+
+// onceOnly shows the group label only for its first series row.
+func onceOnly(label string, seriesIdx int) string {
+	if seriesIdx == 0 {
+		return label
+	}
+	return ""
+}

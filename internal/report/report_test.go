@@ -1,0 +1,139 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("Demo", "name", "value")
+	tab.AddRow("a", "1")
+	tab.AddRow("longer-name", "22")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("lines %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Fatalf("title %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Fatalf("header %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Fatalf("separator %q", lines[2])
+	}
+	// The value column must start at the same offset in every row.
+	off := strings.Index(lines[3], "1")
+	if strings.Index(lines[4], "22") != off {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("NumRows %d", tab.NumRows())
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tab := NewTable("", "a", "b", "c")
+	tab.AddRow("only")
+	tab.AddRow("x", "y", "z", "dropped")
+	out := tab.String()
+	if strings.Contains(out, "dropped") {
+		t.Fatal("extra cell not dropped")
+	}
+	if !strings.Contains(out, "only") {
+		t.Fatal("short row lost")
+	}
+}
+
+func TestTableUnicodeWidths(t *testing.T) {
+	tab := NewTable("", "grid", "t")
+	tab.AddRow("2×2", "1")
+	tab.AddRow("10×10", "2")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	off1 := strings.IndexRune(lines[2], '1')
+	off2 := strings.IndexRune(lines[3], '2')
+	// Rune-aware padding: the single-digit columns must align even though
+	// × is multi-byte.
+	if off1 < 0 || off2 < 0 {
+		t.Fatalf("values missing:\n%s", out)
+	}
+}
+
+func TestBarChartBasics(t *testing.T) {
+	ch := NewBarChart("Fig", "min", "single", "dist")
+	if err := ch.Add("train", 100, 25); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Add("gather", 10, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := ch.String()
+	if !strings.Contains(out, "Fig") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "100.00min") {
+		t.Fatalf("missing value:\n%s", out)
+	}
+	// The 100-minute bar must be the longest.
+	var maxHashes int
+	for _, line := range strings.Split(out, "\n") {
+		if n := strings.Count(line, "#"); n > maxHashes {
+			maxHashes = n
+		}
+	}
+	if maxHashes != 40 {
+		t.Fatalf("longest bar %d chars, want full width 40:\n%s", maxHashes, out)
+	}
+	// Second series uses a different glyph.
+	if !strings.Contains(out, "=") {
+		t.Fatal("second series glyph missing")
+	}
+}
+
+func TestBarChartSeriesMismatch(t *testing.T) {
+	ch := NewBarChart("", "", "a", "b")
+	if err := ch.Add("x", 1); err == nil {
+		t.Fatal("wrong value count accepted")
+	}
+}
+
+func TestBarChartTinyValuesVisible(t *testing.T) {
+	ch := NewBarChart("", "", "s")
+	if err := ch.Add("big", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Add("tiny", 0.1); err != nil {
+		t.Fatal(err)
+	}
+	out := ch.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[1], "#") {
+		t.Fatalf("tiny positive value rendered with no bar:\n%s", out)
+	}
+}
+
+func TestBarChartZeroAndCustomWidth(t *testing.T) {
+	ch := NewBarChart("", "", "s")
+	ch.Width = 10
+	if err := ch.Add("zero", 0); err != nil {
+		t.Fatal(err)
+	}
+	out := ch.String()
+	if strings.Contains(out, "#") {
+		t.Fatalf("zero value drew a bar:\n%s", out)
+	}
+}
+
+func TestBarChartLabelShownOncePerGroup(t *testing.T) {
+	ch := NewBarChart("", "", "a", "b")
+	if err := ch.Add("group", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := ch.String()
+	if strings.Count(out, "group") != 1 {
+		t.Fatalf("label repeated:\n%s", out)
+	}
+}

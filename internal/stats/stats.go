@@ -1,0 +1,129 @@
+// Package stats implements the summary statistics of the paper's
+// methodology: "Ten executions were performed for each experiment, in
+// order to reduce the effects of non-determinism ... Average and standard
+// deviation values are computed for the obtained execution times" (§IV-B).
+// It provides sample summaries, confidence intervals and a repeated-run
+// harness for timing experiments.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary describes a sample of real-valued observations.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, fmt.Errorf("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return Summary{}, fmt.Errorf("stats: non-finite observation %v", x)
+		}
+		s.Mean += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean /= float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s, nil
+}
+
+// String renders the paper's avg±std form.
+func (s Summary) String() string {
+	return fmt.Sprintf("%.2f±%.2f", s.Mean, s.Std)
+}
+
+// tCritical95 holds two-sided 95% Student-t critical values by degrees of
+// freedom (1-30); larger samples fall back to the normal 1.96.
+var tCritical95 = []float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return math.Inf(1)
+	}
+	df := s.N - 1
+	t := 1.96
+	if df < len(tCritical95) {
+		t = tCritical95[df]
+	}
+	return t * s.Std / math.Sqrt(float64(s.N))
+}
+
+// CV returns the coefficient of variation (std/mean); 0 for a zero mean.
+func (s Summary) CV() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return s.Std / math.Abs(s.Mean)
+}
+
+// Speedup computes the ratio of two summaries' means with a first-order
+// propagated standard deviation: r = a/b,
+// σ_r ≈ r·sqrt((σ_a/a)² + (σ_b/b)²).
+func Speedup(single, parallel Summary) (ratio, std float64, err error) {
+	if parallel.Mean == 0 || single.Mean == 0 {
+		return 0, 0, fmt.Errorf("stats: speedup with zero mean")
+	}
+	r := single.Mean / parallel.Mean
+	cv2 := single.CV()*single.CV() + parallel.CV()*parallel.CV()
+	return r, r * math.Sqrt(cv2), nil
+}
+
+// Repeat runs fn n times and summarises the elapsed wall-clock durations
+// in the given unit (e.g. time.Millisecond ⇒ values are milliseconds) —
+// the harness behind "ten independent executions".
+func Repeat(n int, unit time.Duration, fn func() error) (Summary, error) {
+	if n <= 0 {
+		return Summary{}, fmt.Errorf("stats: repeat count %d must be positive", n)
+	}
+	if unit <= 0 {
+		return Summary{}, fmt.Errorf("stats: non-positive unit")
+	}
+	xs := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return Summary{}, fmt.Errorf("stats: run %d: %w", i+1, err)
+		}
+		xs = append(xs, float64(time.Since(start))/float64(unit))
+	}
+	return Summarize(xs)
+}

@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("N=%d mean=%v", s.N, s.Mean)
+	}
+	// Sample std of this classic dataset: sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("std %v want %v", s.Std, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max %v/%v", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Fatalf("median %v", s.Median)
+	}
+}
+
+func TestSummarizeSingleAndOddMedian(t *testing.T) {
+	s, err := Summarize([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Std != 0 || s.Median != 7 {
+		t.Fatalf("%+v", s)
+	}
+	s, err = Summarize([]float64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Median != 2 {
+		t.Fatalf("median %v", s.Median)
+	}
+}
+
+func TestSummarizeRejectsBadInput(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := Summarize([]float64{1, math.NaN()}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if _, err := Summarize([]float64{math.Inf(1)}); err == nil {
+		t.Fatal("Inf accepted")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s, _ := Summarize([]float64{39.80, 39.82})
+	if got := s.String(); got != "39.81±0.01" {
+		t.Fatalf("String %q", got)
+	}
+}
+
+func TestCI95(t *testing.T) {
+	// n=10 (paper's count), df=9: t = 2.262.
+	xs := make([]float64, 10)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s, _ := Summarize(xs)
+	want := 2.262 * s.Std / math.Sqrt(10)
+	if math.Abs(s.CI95()-want) > 1e-12 {
+		t.Fatalf("CI %v want %v", s.CI95(), want)
+	}
+	one, _ := Summarize([]float64{5})
+	if !math.IsInf(one.CI95(), 1) {
+		t.Fatal("CI of single observation should be infinite")
+	}
+	// Large sample falls back to z=1.96.
+	big := make([]float64, 100)
+	for i := range big {
+		big[i] = float64(i % 7)
+	}
+	bs, _ := Summarize(big)
+	wantBig := 1.96 * bs.Std / 10
+	if math.Abs(bs.CI95()-wantBig) > 1e-12 {
+		t.Fatalf("big CI %v want %v", bs.CI95(), wantBig)
+	}
+}
+
+func TestSpeedupPropagation(t *testing.T) {
+	single, _ := Summarize([]float64{100, 100})
+	par, _ := Summarize([]float64{10, 10})
+	r, std, err := Speedup(single, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 10 || std != 0 {
+		t.Fatalf("r=%v std=%v", r, std)
+	}
+	noisy, _ := Summarize([]float64{9, 11})
+	_, std, err = Speedup(single, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if std <= 0 {
+		t.Fatal("noisy denominator should propagate uncertainty")
+	}
+	zero, _ := Summarize([]float64{0})
+	if _, _, err := Speedup(single, zero); err == nil {
+		t.Fatal("zero mean accepted")
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	calls := 0
+	s, err := Repeat(5, time.Nanosecond, func() error {
+		calls++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 5 || s.N != 5 {
+		t.Fatalf("calls=%d N=%d", calls, s.N)
+	}
+	if s.Mean <= 0 {
+		t.Fatal("durations must be positive")
+	}
+	sentinel := errors.New("boom")
+	if _, err := Repeat(3, time.Millisecond, func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if _, err := Repeat(0, time.Second, func() error { return nil }); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	if _, err := Repeat(1, 0, func() error { return nil }); err == nil {
+		t.Fatal("zero unit accepted")
+	}
+}
+
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e9 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			return false
+		}
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.Std >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCVZeroMean(t *testing.T) {
+	s, _ := Summarize([]float64{-1, 1})
+	if s.CV() != 0 {
+		t.Fatalf("CV %v", s.CV())
+	}
+	if !strings.Contains(s.String(), "±") {
+		t.Fatal("format")
+	}
+}

@@ -1,0 +1,305 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat is a dense, row-major matrix of float64. A Mat with Rows == 1 or
+// Cols == 1 doubles as a vector. The zero value is an empty matrix.
+type Mat struct {
+	Rows, Cols int
+	// Data holds the elements in row-major order; len(Data) == Rows*Cols.
+	Data []float64
+}
+
+// New returns a zero-filled rows×cols matrix.
+func New(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %d×%d", rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows×cols matrix.
+func FromSlice(rows, cols int, data []float64) *Mat {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice size mismatch: %d×%d vs %d elements", rows, cols, len(data)))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromFunc builds a rows×cols matrix whose (i,j) element is f(i, j).
+func FromFunc(rows, cols int, f func(i, j int) float64) *Mat {
+	m := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		base := i * cols
+		for j := 0; j < cols; j++ {
+			m.Data[base+j] = f(i, j)
+		}
+	}
+	return m
+}
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Mat {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// Full returns a rows×cols matrix with every element set to v.
+func Full(rows, cols int, v float64) *Mat {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Mat) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Mat) Clone() *Mat {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CopyFrom copies src into m; the shapes must match.
+func (m *Mat) CopyFrom(src *Mat) {
+	m.mustSameShape(src, "CopyFrom")
+	copy(m.Data, src.Data)
+}
+
+// Zero sets every element of m to zero.
+func (m *Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element of m to v.
+func (m *Mat) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+func (m *Mat) mustSameShape(o *Mat, op string) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %d×%d vs %d×%d", op, m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// Add sets m = m + o element-wise.
+func (m *Mat) Add(o *Mat) {
+	m.mustSameShape(o, "Add")
+	for i, v := range o.Data {
+		m.Data[i] += v
+	}
+}
+
+// Sub sets m = m - o element-wise.
+func (m *Mat) Sub(o *Mat) {
+	m.mustSameShape(o, "Sub")
+	for i, v := range o.Data {
+		m.Data[i] -= v
+	}
+}
+
+// MulElem sets m = m ⊙ o (Hadamard product).
+func (m *Mat) MulElem(o *Mat) {
+	m.mustSameShape(o, "MulElem")
+	for i, v := range o.Data {
+		m.Data[i] *= v
+	}
+}
+
+// Scale sets m = a*m.
+func (m *Mat) Scale(a float64) {
+	for i := range m.Data {
+		m.Data[i] *= a
+	}
+}
+
+// AddScaled sets m = m + a*o (axpy).
+func (m *Mat) AddScaled(a float64, o *Mat) {
+	m.mustSameShape(o, "AddScaled")
+	for i, v := range o.Data {
+		m.Data[i] += a * v
+	}
+}
+
+// AddRowVec adds the 1×Cols row vector v to every row of m (broadcast).
+func (m *Mat) AddRowVec(v *Mat) {
+	if v.Rows != 1 || v.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVec wants 1×%d, got %d×%d", m.Cols, v.Rows, v.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, b := range v.Data {
+			row[j] += b
+		}
+	}
+}
+
+// Apply sets every element x of m to f(x).
+func (m *Mat) Apply(f func(float64) float64) {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+}
+
+// Map returns a new matrix whose elements are f applied to m's elements.
+func (m *Mat) Map(f func(float64) float64) *Mat {
+	c := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		c.Data[i] = f(v)
+	}
+	return c
+}
+
+// T returns a newly allocated transpose of m.
+func (m *Mat) T() *Mat {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		base := i * m.Cols
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*m.Rows+i] = m.Data[base+j]
+		}
+	}
+	return t
+}
+
+// Sum returns the sum of all elements.
+func (m *Mat) Sum() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for an empty matrix).
+func (m *Mat) Mean() float64 {
+	if len(m.Data) == 0 {
+		return 0
+	}
+	return m.Sum() / float64(len(m.Data))
+}
+
+// Max returns the maximum element; it panics on an empty matrix.
+func (m *Mat) Max() float64 {
+	if len(m.Data) == 0 {
+		panic("tensor: Max of empty matrix")
+	}
+	mx := m.Data[0]
+	for _, v := range m.Data[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Min returns the minimum element; it panics on an empty matrix.
+func (m *Mat) Min() float64 {
+	if len(m.Data) == 0 {
+		panic("tensor: Min of empty matrix")
+	}
+	mn := m.Data[0]
+	for _, v := range m.Data[1:] {
+		if v < mn {
+			mn = v
+		}
+	}
+	return mn
+}
+
+// Norm2 returns the Frobenius norm of m.
+func (m *Mat) Norm2() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of m and o viewed as flat vectors.
+func (m *Mat) Dot(o *Mat) float64 {
+	m.mustSameShape(o, "Dot")
+	s := 0.0
+	for i, v := range m.Data {
+		s += v * o.Data[i]
+	}
+	return s
+}
+
+// ArgmaxRow returns the column index of the maximum element of row i.
+func (m *Mat) ArgmaxRow(i int) int {
+	row := m.Row(i)
+	best := 0
+	for j, x := range row {
+		if x > row[best] {
+			best = j
+		}
+	}
+	return best
+}
+
+// Equal reports whether m and o have the same shape and identical elements.
+func (m *Mat) Equal(o *Mat) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, x := range m.Data {
+		if x != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports whether m and o have the same shape and all elements
+// within tol of each other.
+func (m *Mat) ApproxEqual(o *Mat, tol float64) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, x := range m.Data {
+		if math.Abs(x-o.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact, human-readable form of small matrices.
+func (m *Mat) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Mat(%d×%d)", m.Rows, m.Cols)
+	}
+	s := fmt.Sprintf("Mat(%d×%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}

@@ -1,0 +1,189 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of multiply-adds below which
+// MatMul runs serially; parallel dispatch costs more than it saves on
+// small products.
+const parallelThreshold = 64 * 1024
+
+// ParallelFor executes f(lo, hi) over disjoint chunks of [0, n) using up to
+// GOMAXPROCS goroutines. It runs f(0, n) inline when n is small or only one
+// worker is available. The chunk decomposition is deterministic, so
+// numerically order-sensitive reductions inside a chunk stay reproducible.
+func ParallelFor(n int, minChunk int, f func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	if workers <= 1 || n <= minChunk {
+		if n > 0 {
+			f(0, n)
+		}
+		return
+	}
+	if max := (n + minChunk - 1) / minChunk; workers > max {
+		workers = max
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul returns a × b. It parallelises across rows of a for large products
+// and uses an ikj loop order for cache-friendly access to b.
+func MatMul(a, b *Mat) *Mat {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := New(a.Rows, b.Cols)
+	mulRows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	}
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold {
+		mulRows(0, a.Rows)
+	} else {
+		minChunk := parallelThreshold / (a.Cols*b.Cols + 1)
+		ParallelFor(a.Rows, minChunk+1, mulRows)
+	}
+	return c
+}
+
+// MatMulT1 returns aᵀ × b without materialising the transpose of a.
+func MatMulT1(a, b *Mat) *Mat {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulT1 dimension mismatch %d×%d ᵀ· %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := New(a.Cols, b.Cols)
+	// c[i][j] = sum_k a[k][i] * b[k][j]; accumulate row-of-b scaled by a[k][i].
+	mulCols := func(lo, hi int) {
+		for k := 0; k < a.Rows; k++ {
+			arow := a.Row(k)
+			brow := b.Row(k)
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				crow := c.Row(i)
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	}
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold {
+		mulCols(0, a.Cols)
+	} else {
+		minChunk := parallelThreshold / (a.Rows*b.Cols + 1)
+		ParallelFor(a.Cols, minChunk+1, mulCols)
+	}
+	return c
+}
+
+// MatMulT2 returns a × bᵀ without materialising the transpose of b.
+func MatMulT2(a, b *Mat) *Mat {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulT2 dimension mismatch %d×%d · %d×%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := New(a.Rows, b.Rows)
+	mulRows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				s := 0.0
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				crow[j] = s
+			}
+		}
+	}
+	work := a.Rows * a.Cols * b.Rows
+	if work < parallelThreshold {
+		mulRows(0, a.Rows)
+	} else {
+		minChunk := parallelThreshold / (a.Cols*b.Rows + 1)
+		ParallelFor(a.Rows, minChunk+1, mulRows)
+	}
+	return c
+}
+
+// MatVec returns a × x where x is treated as a column vector of length
+// a.Cols; the result has shape a.Rows×1.
+func MatVec(a *Mat, x *Mat) *Mat {
+	if x.Rows*x.Cols != a.Cols {
+		panic(fmt.Sprintf("tensor: MatVec length mismatch %d×%d · %d", a.Rows, a.Cols, x.Rows*x.Cols))
+	}
+	y := New(a.Rows, 1)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		s := 0.0
+		for k, av := range row {
+			s += av * x.Data[k]
+		}
+		y.Data[i] = s
+	}
+	return y
+}
+
+// ColSums returns a 1×Cols row vector of per-column sums of m.
+func ColSums(m *Mat) *Mat {
+	s := New(1, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, x := range row {
+			s.Data[j] += x
+		}
+	}
+	return s
+}
+
+// RowMeans returns a Rows×1 column vector of per-row means of m.
+func RowMeans(m *Mat) *Mat {
+	r := New(m.Rows, 1)
+	if m.Cols == 0 {
+		return r
+	}
+	inv := 1.0 / float64(m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for _, x := range row {
+			s += x
+		}
+		r.Data[i] = s * inv
+	}
+	return r
+}

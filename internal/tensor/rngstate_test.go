@@ -1,0 +1,52 @@
+package tensor
+
+import "testing"
+
+func TestRNGMarshalResumesStream(t *testing.T) {
+	r := NewRNG(77)
+	for i := 0; i < 100; i++ {
+		r.Uint64()
+	}
+	r.NormFloat64() // leave a cached gaussian pending
+	state, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, 50)
+	for i := range want {
+		want[i] = r.NormFloat64()
+	}
+	restored := NewRNG(0)
+	if err := restored.UnmarshalBinary(state); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got := restored.NormFloat64(); got != want[i] {
+			t.Fatalf("restored stream diverges at %d: %v vs %v", i, got, want[i])
+		}
+	}
+}
+
+func TestRNGUnmarshalRejectsBadState(t *testing.T) {
+	r := NewRNG(1)
+	if err := r.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short state accepted")
+	}
+	zero := make([]byte, rngStateLen)
+	if err := r.UnmarshalBinary(zero); err == nil {
+		t.Fatal("all-zero xoshiro state accepted")
+	}
+}
+
+func TestRNGMarshalDoesNotAdvance(t *testing.T) {
+	r := NewRNG(5)
+	if _, err := r.MarshalBinary(); err != nil {
+		t.Fatal(err)
+	}
+	other := NewRNG(5)
+	for i := 0; i < 10; i++ {
+		if r.Uint64() != other.Uint64() {
+			t.Fatal("MarshalBinary advanced the stream")
+		}
+	}
+}
