@@ -1,0 +1,27 @@
+# make check mirrors .github/workflows/ci.yml for local runs.
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build test race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrent packages (serving engine, message passing,
+# client-server exchange, checkpoint train-in-test helpers).
+race:
+	$(GO) test -race ./internal/serve/ ./internal/mpi/ ./internal/clientserver/ ./internal/checkpoint/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -50,6 +50,7 @@ func main() {
 	evalQuality := flag.Bool("eval", true, "train a classifier and report inception score etc.")
 	verbose := flag.Bool("v", false, "per-iteration progress")
 	saveCkpt := flag.String("checkpoint", "", "write a resumable checkpoint here after training (seq/par modes)")
+	exportMix := flag.String("export-mixture", "", "write the best cell's generator mixture here as a serving artifact (see cmd/serve)")
 	resumeCkpt := flag.String("resume", "", "resume from a checkpoint file; -iterations sets the new target")
 	idxImages := flag.String("idx-images", "", "train on a real MNIST IDX image file (plain or .gz)")
 	idxLabels := flag.String("idx-labels", "", "label file paired with -idx-images")
@@ -138,6 +139,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("checkpoint written to %s (iteration %d)\n", *saveCkpt, cp.Iteration())
+	}
+
+	if *exportMix != "" {
+		a, err := checkpoint.ExportMixture(res, res.BestRank)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trainer:", err)
+			os.Exit(1)
+		}
+		if err := checkpoint.SaveMixtureFile(*exportMix, a); err != nil {
+			fmt.Fprintln(os.Stderr, "trainer:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("mixture artifact written to %s (%d generators; serve with: serve -model digits=%s)\n",
+			*exportMix, len(a.Ranks), *exportMix)
 	}
 
 	fmt.Printf("%s training on %d×%d grid: %d iterations in %s\n",

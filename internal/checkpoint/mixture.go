@@ -1,0 +1,285 @@
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"cellgan/internal/config"
+	"cellgan/internal/core"
+	"cellgan/internal/nn"
+	"cellgan/internal/tensor"
+)
+
+// MixtureArtifact is a generator-only export of a trained mixture — the
+// deployable end-product of a run. Unlike a full Checkpoint it carries no
+// optimizer moments, RNG streams or discriminators: just the run
+// configuration (to rebuild the generator architecture), the mixture
+// composition and each member's parameters. It is the input format of the
+// serving model registry (internal/serve) and small enough to ship.
+type MixtureArtifact struct {
+	// Cfg is the training configuration; serving needs the generator
+	// topology and latent dimension from it.
+	Cfg config.Config
+	// Ranks lists the mixture members in ascending rank order.
+	Ranks []int
+	// Weights are the mixture coefficients, aligned with Ranks.
+	Weights []float64
+	// GenParams holds each member generator's encoded parameters,
+	// aligned with Ranks.
+	GenParams [][]byte
+}
+
+const (
+	mixtureMagic   = uint64(0x43474d495830) // "CGMIX0"
+	mixtureVersion = uint64(1)
+)
+
+// ExportMixture extracts the generator mixture of one cell from a finished
+// run as a deployable artifact. Use res.BestRank for the mixture the
+// method returns.
+func ExportMixture(res *core.Result, rank int) (*MixtureArtifact, error) {
+	if rank < 0 || rank >= len(res.Cells) {
+		return nil, fmt.Errorf("checkpoint: rank %d out of range for %d cells", rank, len(res.Cells))
+	}
+	cr := res.Cells[rank]
+	if len(cr.MixtureRanks) == 0 {
+		return nil, fmt.Errorf("checkpoint: cell %d has an empty mixture", rank)
+	}
+	if len(cr.MixtureRanks) != len(cr.MixtureWeights) {
+		return nil, fmt.Errorf("checkpoint: cell %d mixture ranks/weights length mismatch %d/%d",
+			rank, len(cr.MixtureRanks), len(cr.MixtureWeights))
+	}
+	a := &MixtureArtifact{
+		Cfg:       res.Cfg,
+		Ranks:     append([]int(nil), cr.MixtureRanks...),
+		Weights:   append([]float64(nil), cr.MixtureWeights...),
+		GenParams: make([][]byte, len(cr.MixtureRanks)),
+	}
+	for i, mr := range cr.MixtureRanks {
+		if mr < 0 || mr >= len(res.Cells) {
+			return nil, fmt.Errorf("checkpoint: mixture member %d out of range", mr)
+		}
+		a.GenParams[i] = append([]byte(nil), res.Cells[mr].State.GenParams...)
+	}
+	return a, nil
+}
+
+// validate reports the first structural error in the artifact.
+func (a *MixtureArtifact) validate() error {
+	if err := a.Cfg.Validate(); err != nil {
+		return err
+	}
+	if len(a.Ranks) == 0 {
+		return fmt.Errorf("checkpoint: mixture artifact has no members")
+	}
+	if len(a.Weights) != len(a.Ranks) || len(a.GenParams) != len(a.Ranks) {
+		return fmt.Errorf("checkpoint: mixture artifact sections misaligned: %d ranks, %d weights, %d param blobs",
+			len(a.Ranks), len(a.Weights), len(a.GenParams))
+	}
+	for _, w := range a.Weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return fmt.Errorf("checkpoint: mixture weight %g is not a probability", w)
+		}
+	}
+	return nil
+}
+
+// Mixture reconstructs the sampleable generator mixture: one generator
+// network per member, rebuilt from Cfg and overwritten with the stored
+// parameters.
+func (a *MixtureArtifact) Mixture() (*core.Mixture, error) {
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	gens := make(map[int]*nn.Network, len(a.Ranks))
+	for i, r := range a.Ranks {
+		// Seed is irrelevant: parameters are overwritten by the decode.
+		net := core.BuildGenerator(a.Cfg, tensor.NewRNG(0))
+		if err := net.DecodeParams(a.GenParams[i]); err != nil {
+			return nil, fmt.Errorf("checkpoint: decoding generator of rank %d: %w", r, err)
+		}
+		gens[r] = net
+	}
+	m, err := core.NewMixture(gens)
+	if err != nil {
+		return nil, err
+	}
+	copy(m.Weights, a.Weights)
+	return m, nil
+}
+
+// LatentDim returns the generator latent dimension serving callers must
+// sample from.
+func (a *MixtureArtifact) LatentDim() int { return a.Cfg.InputNeurons }
+
+// WriteMixture serialises the artifact.
+func WriteMixture(w io.Writer, a *MixtureArtifact) error {
+	if err := a.validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	wU64 := func(v uint64) error {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		_, err := bw.Write(b[:])
+		return err
+	}
+	wBlob := func(b []byte) error {
+		if err := wU64(uint64(len(b))); err != nil {
+			return err
+		}
+		_, err := bw.Write(b)
+		return err
+	}
+	if err := wU64(mixtureMagic); err != nil {
+		return err
+	}
+	if err := wU64(mixtureVersion); err != nil {
+		return err
+	}
+	cfgJSON, err := a.Cfg.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := wBlob(cfgJSON); err != nil {
+		return err
+	}
+	if err := wU64(uint64(len(a.Ranks))); err != nil {
+		return err
+	}
+	for _, r := range a.Ranks {
+		if err := wU64(uint64(int64(r))); err != nil {
+			return err
+		}
+	}
+	for _, wt := range a.Weights {
+		if err := wU64(math.Float64bits(wt)); err != nil {
+			return err
+		}
+	}
+	for _, p := range a.GenParams {
+		if err := wBlob(p); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMixture deserialises an artifact written by WriteMixture.
+func ReadMixture(r io.Reader) (*MixtureArtifact, error) {
+	br := bufio.NewReader(r)
+	rU64 := func() (uint64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b[:]), nil
+	}
+	rBlob := func() ([]byte, error) {
+		n, err := rU64()
+		if err != nil {
+			return nil, err
+		}
+		if n > maxSection {
+			return nil, fmt.Errorf("checkpoint: section of %d bytes exceeds limit", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	magic, err := rU64()
+	if err != nil || magic != mixtureMagic {
+		return nil, fmt.Errorf("checkpoint: not a mixture artifact stream")
+	}
+	version, err := rU64()
+	if err != nil {
+		return nil, err
+	}
+	if version != mixtureVersion {
+		return nil, fmt.Errorf("checkpoint: unsupported mixture artifact version %d", version)
+	}
+	cfgJSON, err := rBlob()
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: mixture config section: %w", err)
+	}
+	cfg, err := config.Unmarshal(cfgJSON)
+	if err != nil {
+		return nil, err
+	}
+	nMembers, err := rU64()
+	if err != nil {
+		return nil, err
+	}
+	if nMembers == 0 || nMembers > uint64(cfg.NumCells()) {
+		return nil, fmt.Errorf("checkpoint: implausible mixture size %d for a %d-cell grid",
+			nMembers, cfg.NumCells())
+	}
+	a := &MixtureArtifact{
+		Cfg:       cfg,
+		Ranks:     make([]int, nMembers),
+		Weights:   make([]float64, nMembers),
+		GenParams: make([][]byte, nMembers),
+	}
+	for i := range a.Ranks {
+		v, err := rU64()
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: mixture ranks: %w", err)
+		}
+		a.Ranks[i] = int(int64(v))
+	}
+	for i := range a.Weights {
+		v, err := rU64()
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: mixture weights: %w", err)
+		}
+		a.Weights[i] = math.Float64frombits(v)
+	}
+	for i := range a.GenParams {
+		if a.GenParams[i], err = rBlob(); err != nil {
+			return nil, fmt.Errorf("checkpoint: mixture member %d params: %w", i, err)
+		}
+	}
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// SaveMixtureFile writes the artifact atomically (temp file + rename).
+func SaveMixtureFile(path string, a *MixtureArtifact) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := WriteMixture(f, a); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadMixtureFile reads a mixture artifact from disk.
+func LoadMixtureFile(path string) (*MixtureArtifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	return ReadMixture(f)
+}

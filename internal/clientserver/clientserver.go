@@ -92,6 +92,9 @@ func pull(client *http.Client, url string) (*core.CellState, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		// Drain the (bounded) error body so the keep-alive connection can
+		// be reused instead of being torn down.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck
 		return nil, fmt.Errorf("clientserver: %s returned %s", url, resp.Status)
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxStateBody))

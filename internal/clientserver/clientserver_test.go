@@ -125,6 +125,46 @@ func TestPullNon200(t *testing.T) {
 	}
 }
 
+// countingListener counts accepted connections, exposing whether a client
+// reused its keep-alive connection or dialled again.
+type countingListener struct {
+	net.Listener
+	accepts int
+}
+
+func (l *countingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.accepts++
+	}
+	return c, err
+}
+
+func TestPullNon200ReusesConnection(t *testing.T) {
+	// The error body must be drained so consecutive failing pulls ride a
+	// single keep-alive connection instead of redialling.
+	mux := http.NewServeMux()
+	mux.HandleFunc(statePath, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "busy", http.StatusServiceUnavailable)
+	})
+	srv := &http.Server{Handler: mux}
+	ln, url := listenLoopback(t)
+	counting := &countingListener{Listener: ln}
+	go srv.Serve(counting) //nolint:errcheck
+	defer srv.Close()
+
+	client := &http.Client{Transport: &http.Transport{}}
+	defer client.CloseIdleConnections()
+	for i := 0; i < 3; i++ {
+		if _, err := pull(client, url); err == nil {
+			t.Fatal("503 accepted")
+		}
+	}
+	if counting.accepts != 1 {
+		t.Fatalf("3 failing pulls used %d connections, want 1 (keep-alive reuse)", counting.accepts)
+	}
+}
+
 func listenLoopback(t *testing.T) (net.Listener, string) {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

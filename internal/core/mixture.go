@@ -115,16 +115,25 @@ func (m *Mixture) Sample(n, latentDim int, rng *tensor.RNG) *tensor.Mat {
 	return out
 }
 
-func (m *Mixture) outputDim() int {
-	layers := m.Generators[0].Layers
-	// Walk backwards to the last layer that knows its output width
-	// (activations are shape-preserving).
-	for i := len(layers) - 1; i >= 0; i-- {
-		if sized, ok := layers[i].(nn.Sized); ok {
-			return sized.OutputWidth()
-		}
+func (m *Mixture) outputDim() int { return m.Generators[0].OutputWidth() }
+
+// OutputDim returns the per-sample output length of the mixture's
+// generators — the flattened image dimension serving callers decode.
+func (m *Mixture) OutputDim() int { return m.outputDim() }
+
+// Clone returns a deep copy of the mixture. Generators cache forward-pass
+// state, so a mixture must not be sampled from concurrently; inference
+// workers clone the mixture once and sample from their private copy.
+func (m *Mixture) Clone() *Mixture {
+	c := &Mixture{
+		Ranks:      append([]int(nil), m.Ranks...),
+		Generators: make([]*nn.Network, len(m.Generators)),
+		Weights:    append([]float64(nil), m.Weights...),
 	}
-	return 0
+	for i, g := range m.Generators {
+		c.Generators[i] = g.Clone()
+	}
+	return c
 }
 
 // Fitness scores the mixture against a discriminator: the non-saturating

@@ -47,6 +47,73 @@ func TestNormalizeWeights(t *testing.T) {
 	}
 }
 
+func TestNormalizeWeightsEdgeCases(t *testing.T) {
+	// All-zero input has no mass to rescale: the projection falls back to
+	// the uniform distribution.
+	z := []float64{0, 0, 0, 0}
+	normalizeWeights(z)
+	for _, v := range z {
+		if v != 0.25 {
+			t.Fatalf("all-zero fallback %v", z)
+		}
+	}
+	// A single element always normalises to the trivial simplex {1},
+	// whatever its starting value.
+	for _, start := range []float64{5, 0, -3} {
+		s := []float64{start}
+		normalizeWeights(s)
+		if s[0] != 1 {
+			t.Fatalf("single element %g normalised to %g", start, s[0])
+		}
+	}
+}
+
+func TestMixtureSampleDeterministic(t *testing.T) {
+	// Identical seeds must reproduce the exact sample batch — the
+	// property serving replicas rely on for debuggability.
+	build := func() *Mixture {
+		m, err := NewMixture(map[int]*nn.Network{0: tinyGen(1), 1: tinyGen(2), 2: tinyGen(3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Weights = []float64{0.5, 0.3, 0.2}
+		return m
+	}
+	a := build().Sample(32, 4, tensor.NewRNG(123))
+	b := build().Sample(32, 4, tensor.NewRNG(123))
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different samples")
+	}
+	c := build().Sample(32, 4, tensor.NewRNG(124))
+	if a.Equal(c) {
+		t.Fatal("different seeds produced identical samples")
+	}
+}
+
+func TestMixtureCloneIsIndependent(t *testing.T) {
+	m, err := NewMixture(map[int]*nn.Network{0: tinyGen(1), 1: tinyGen(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	if c.OutputDim() != m.OutputDim() {
+		t.Fatalf("clone output dim %d want %d", c.OutputDim(), m.OutputDim())
+	}
+	want := m.Sample(8, 4, tensor.NewRNG(5))
+	got := c.Sample(8, 4, tensor.NewRNG(5))
+	if !got.Equal(want) {
+		t.Fatal("clone is not the same generative model")
+	}
+	// Mutating the clone must not leak into the original.
+	c.Weights[0] = 1
+	c.Weights[1] = 0
+	c.Generators[0].Params()[0].Fill(0)
+	after := m.Sample(8, 4, tensor.NewRNG(5))
+	if !after.Equal(want) {
+		t.Fatal("mutating the clone changed the original mixture")
+	}
+}
+
 func TestQuickNormalizeIsSimplex(t *testing.T) {
 	f := func(raw []float64) bool {
 		if len(raw) == 0 {

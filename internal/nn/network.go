@@ -66,6 +66,18 @@ func (n *Network) NumParams() int {
 	return total
 }
 
+// OutputWidth returns the per-sample output length of the network: the
+// output width of the last Sized layer (activations are shape-preserving).
+// It returns 0 when no layer knows its width.
+func (n *Network) OutputWidth() int {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		if sized, ok := n.Layers[i].(Sized); ok {
+			return sized.OutputWidth()
+		}
+	}
+	return 0
+}
+
 // Clone returns a deep copy of the network.
 func (n *Network) Clone() *Network {
 	c := &Network{Layers: make([]Layer, len(n.Layers))}

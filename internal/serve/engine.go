@@ -1,0 +1,323 @@
+// Package serve is the inference half of the training/inference stack: it
+// loads generator-mixture artifacts exported from internal/checkpoint and
+// serves samples from them over HTTP. The throughput lever is request
+// coalescing — concurrent /generate requests are merged into single
+// forward passes through the mixture, amortising the matmul cost exactly
+// the way the training loop amortises it over mini-batches.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cellgan/internal/checkpoint"
+	"cellgan/internal/core"
+	"cellgan/internal/tensor"
+)
+
+// ErrOverloaded is returned when the request queue is full; HTTP maps it
+// to 429 so clients back off instead of piling up.
+var ErrOverloaded = errors.New("serve: queue full, request shed")
+
+// ErrStopped is returned for requests submitted after shutdown began.
+var ErrStopped = errors.New("serve: engine stopped")
+
+// MaxSamplesPerRequest bounds one request's sample count so a single
+// caller cannot monopolise a batch.
+const MaxSamplesPerRequest = 4096
+
+// Model is an immutable, loaded generator mixture. Hot-reloading replaces
+// the whole Model atomically; in-flight batches finish on the version they
+// started with.
+type Model struct {
+	// Name is the registry key the model is served under.
+	Name string
+	// Version increments on every (re)load of the name.
+	Version uint64
+	// Artifact is the deployable export the model was built from.
+	Artifact *checkpoint.MixtureArtifact
+	// LatentDim and OutputDim describe the generator's signature.
+	LatentDim, OutputDim int
+
+	// proto is the reconstructed mixture; generators cache forward-pass
+	// state, so workers sample from private clones, never from proto.
+	proto *core.Mixture
+}
+
+// newModel rebuilds the sampleable model from an artifact.
+func newModel(name string, version uint64, a *checkpoint.MixtureArtifact) (*Model, error) {
+	m, err := a.Mixture()
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		Name:      name,
+		Version:   version,
+		Artifact:  a,
+		LatentDim: a.LatentDim(),
+		OutputDim: m.OutputDim(),
+		proto:     m,
+	}, nil
+}
+
+// EngineConfig tunes a batched sampling engine.
+type EngineConfig struct {
+	// Workers is the number of concurrent forward-pass workers; each owns
+	// a private clone of the mixture (default 2).
+	Workers int
+	// MaxBatchSamples caps the samples coalesced into one forward pass
+	// (default 256).
+	MaxBatchSamples int
+	// QueueSize bounds the request queue; submissions beyond it are shed
+	// with ErrOverloaded (default 256).
+	QueueSize int
+	// BatchWait is how long a worker holding a request waits for more
+	// requests to coalesce before running the forward pass (default 2 ms).
+	// Zero batches opportunistically: only what is already queued.
+	BatchWait time.Duration
+	// Seed keys the latent-sampling RNG streams (one split per worker).
+	Seed uint64
+}
+
+// withDefaults fills zero fields.
+func (c EngineConfig) withDefaults() EngineConfig {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.MaxBatchSamples <= 0 {
+		c.MaxBatchSamples = 256
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 256
+	}
+	if c.BatchWait == 0 {
+		c.BatchWait = 2 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// genRequest is one caller waiting for samples.
+type genRequest struct {
+	ctx  context.Context
+	n    int
+	done chan genResult // buffered(1): workers never block on delivery
+}
+
+type genResult struct {
+	out *tensor.Mat
+	err error
+}
+
+// Engine serves one named model: a bounded queue feeding a pool of
+// workers that coalesce queued requests into single forward passes.
+type Engine struct {
+	cfg     EngineConfig
+	cur     atomic.Pointer[Model]
+	queue   chan *genRequest
+	metrics *Metrics
+
+	closing   chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+	// closeMu serialises submissions against Close: an enqueue holds the
+	// read lock, so once Close holds the write lock and flips closed, no
+	// request can slip into the queue after the final drain.
+	closeMu sync.RWMutex
+	closed  bool
+}
+
+// NewEngine starts an engine serving m.
+func NewEngine(m *Model, cfg EngineConfig, metrics *Metrics) *Engine {
+	cfg = cfg.withDefaults()
+	if metrics == nil {
+		metrics = NewMetrics()
+	}
+	e := &Engine{
+		cfg:     cfg,
+		queue:   make(chan *genRequest, cfg.QueueSize),
+		metrics: metrics,
+		closing: make(chan struct{}),
+	}
+	e.cur.Store(m)
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker(uint64(i))
+	}
+	return e
+}
+
+// Model returns the currently served model.
+func (e *Engine) Model() *Model { return e.cur.Load() }
+
+// Swap atomically replaces the served model (hot reload). Batches already
+// running finish on the old version.
+func (e *Engine) Swap(m *Model) { e.cur.Store(m) }
+
+// QueueDepth returns the number of requests waiting in the queue.
+func (e *Engine) QueueDepth() int { return len(e.queue) }
+
+// Close drains the queue and stops the workers. Requests already queued
+// are served; new submissions fail with ErrStopped.
+func (e *Engine) Close() {
+	e.closeMu.Lock()
+	e.closed = true
+	e.closeMu.Unlock()
+	e.closeOnce.Do(func() { close(e.closing) })
+	e.wg.Wait()
+	// A submission racing with worker exit can still have made the queue
+	// (it held closeMu before closed flipped); fail it rather than leave
+	// the caller waiting.
+	for {
+		select {
+		case req := <-e.queue:
+			req.done <- genResult{err: ErrStopped}
+		default:
+			return
+		}
+	}
+}
+
+// Generate returns n samples from the served mixture, coalesced with
+// concurrent callers into shared forward passes. It blocks until the
+// samples are ready, ctx is done, or the request is shed.
+func (e *Engine) Generate(ctx context.Context, n int) (*tensor.Mat, error) {
+	started := time.Now()
+	out, err := e.generate(ctx, n)
+	e.metrics.ObserveRequest(n, time.Since(started), err)
+	return out, err
+}
+
+func (e *Engine) generate(ctx context.Context, n int) (*tensor.Mat, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("serve: sample count %d must be positive", n)
+	}
+	if n > MaxSamplesPerRequest {
+		return nil, fmt.Errorf("serve: sample count %d exceeds limit %d", n, MaxSamplesPerRequest)
+	}
+	req := &genRequest{ctx: ctx, n: n, done: make(chan genResult, 1)}
+	e.closeMu.RLock()
+	if e.closed {
+		e.closeMu.RUnlock()
+		return nil, ErrStopped
+	}
+	select {
+	case e.queue <- req:
+		e.closeMu.RUnlock()
+	default:
+		e.closeMu.RUnlock()
+		e.metrics.ObserveShed()
+		return nil, ErrOverloaded
+	}
+	select {
+	case res := <-req.done:
+		return res.out, res.err
+	case <-ctx.Done():
+		// The worker will find the expired context and drop the request.
+		return nil, ctx.Err()
+	}
+}
+
+// worker runs forward passes over coalesced request batches on a private
+// clone of the mixture.
+func (e *Engine) worker(id uint64) {
+	defer e.wg.Done()
+	rng := tensor.NewRNG(e.cfg.Seed + (id+1)*0x9e3779b97f4a7c15)
+	var local *core.Mixture
+	var version uint64
+	var name string
+	for {
+		var first *genRequest
+		select {
+		case first = <-e.queue:
+		case <-e.closing:
+			// Drain what is already queued, then exit.
+			select {
+			case first = <-e.queue:
+			default:
+				return
+			}
+		}
+		batch := e.gather(first)
+		m := e.cur.Load()
+		if local == nil || version != m.Version || name != m.Name {
+			local = m.proto.Clone()
+			version, name = m.Version, m.Name
+		}
+		e.runBatch(local, m, batch, rng)
+	}
+}
+
+// gather coalesces queued requests behind first, up to MaxBatchSamples
+// total samples or until BatchWait elapses with the queue empty.
+func (e *Engine) gather(first *genRequest) []*genRequest {
+	batch := []*genRequest{first}
+	total := first.n
+	drain := func() []*genRequest {
+		for total < e.cfg.MaxBatchSamples {
+			select {
+			case r := <-e.queue:
+				batch = append(batch, r)
+				total += r.n
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	if e.cfg.BatchWait <= 0 {
+		return drain()
+	}
+	timer := time.NewTimer(e.cfg.BatchWait)
+	defer timer.Stop()
+	for total < e.cfg.MaxBatchSamples {
+		select {
+		case r := <-e.queue:
+			batch = append(batch, r)
+			total += r.n
+		case <-timer.C:
+			return batch
+		case <-e.closing:
+			return drain()
+		}
+	}
+	return batch
+}
+
+// runBatch executes one coalesced forward pass and distributes the rows
+// back to the waiting requests.
+func (e *Engine) runBatch(local *core.Mixture, m *Model, batch []*genRequest, rng *tensor.RNG) {
+	// Drop requests whose caller already gave up.
+	live := batch[:0]
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			r.done <- genResult{err: err}
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	total := 0
+	for _, r := range live {
+		total += r.n
+	}
+	out := local.Sample(total, m.LatentDim, rng)
+	e.metrics.ObserveBatch(len(live))
+	offset := 0
+	for _, r := range live {
+		sub := tensor.New(r.n, out.Cols)
+		for i := 0; i < r.n; i++ {
+			copy(sub.Row(i), out.Row(offset+i))
+		}
+		offset += r.n
+		r.done <- genResult{out: sub}
+	}
+}

@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"cellgan/internal/dataset"
+)
+
+// DefaultRequestTimeout bounds one /generate request end to end (queueing
+// plus forward passes).
+const DefaultRequestTimeout = 30 * time.Second
+
+// maxGenerateBody bounds a /generate request body.
+const maxGenerateBody = 1 << 20
+
+// Server is the HTTP front of a model registry.
+type Server struct {
+	reg     *Registry
+	timeout time.Duration
+	mux     *http.ServeMux
+	// draining flips health to 503 ahead of connection shutdown so load
+	// balancers stop routing here while in-flight requests finish.
+	draining atomic.Bool
+}
+
+// NewServer returns a server over reg. requestTimeout bounds each
+// /generate request; zero selects DefaultRequestTimeout.
+func NewServer(reg *Registry, requestTimeout time.Duration) *Server {
+	if requestTimeout <= 0 {
+		requestTimeout = DefaultRequestTimeout
+	}
+	s := &Server{reg: reg, timeout: requestTimeout, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/generate", s.handleGenerate)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/modelz", s.handleModelz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SetDraining marks the server as draining (health checks fail, new
+// generate requests are refused with 503). Call before http.Server
+// Shutdown so upstream balancers divert traffic first.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// GenerateRequest is the body of POST /v1/generate.
+type GenerateRequest struct {
+	// Model names the registry entry; may be empty when exactly one model
+	// is loaded.
+	Model string `json:"model,omitempty"`
+	// N is the number of samples to generate (default 1).
+	N int `json:"n,omitempty"`
+	// Encoding selects the sample representation: "float" (default,
+	// JSON arrays), "base64" (row-major little-endian float64), or "pgm"
+	// (plain-text PGM images, square outputs only).
+	Encoding string `json:"encoding,omitempty"`
+}
+
+// GenerateResponse is the body of a successful generate call.
+type GenerateResponse struct {
+	Model    string      `json:"model"`
+	Version  uint64      `json:"version"`
+	N        int         `json:"n"`
+	Dim      int         `json:"dim"`
+	Encoding string      `json:"encoding"`
+	Samples  [][]float64 `json:"samples,omitempty"`
+	Data     string      `json:"data,omitempty"`
+	PGM      []string    `json:"pgm,omitempty"`
+}
+
+// httpError renders a JSON error body.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	var req GenerateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxGenerateBody))
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.N == 0 {
+		req.N = 1
+	}
+	if req.N < 0 || req.N > MaxSamplesPerRequest {
+		httpError(w, http.StatusBadRequest, "n must be in [1,%d]", MaxSamplesPerRequest)
+		return
+	}
+	encoding := strings.ToLower(req.Encoding)
+	if encoding == "" {
+		encoding = "float"
+	}
+	switch encoding {
+	case "float", "base64", "pgm":
+	default:
+		httpError(w, http.StatusBadRequest, "unknown encoding %q (want float, base64 or pgm)", encoding)
+		return
+	}
+	engine, err := s.reg.Engine(req.Model)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	out, err := engine.Generate(ctx, req.N)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrStopped):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, "request timed out after %s", s.timeout)
+		return
+	case errors.Is(err, context.Canceled):
+		// Client went away; nothing useful to write.
+		return
+	default:
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	m := engine.Model()
+	resp := GenerateResponse{
+		Model:    m.Name,
+		Version:  m.Version,
+		N:        out.Rows,
+		Dim:      out.Cols,
+		Encoding: encoding,
+	}
+	switch encoding {
+	case "float":
+		resp.Samples = make([][]float64, out.Rows)
+		for i := range resp.Samples {
+			resp.Samples[i] = out.Row(i)
+		}
+	case "base64":
+		raw := make([]byte, 8*len(out.Data))
+		for i, v := range out.Data {
+			binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
+		}
+		resp.Data = base64.StdEncoding.EncodeToString(raw)
+	case "pgm":
+		side := int(math.Round(math.Sqrt(float64(out.Cols))))
+		if side*side != out.Cols {
+			httpError(w, http.StatusBadRequest, "pgm needs square outputs, dim %d is not a square", out.Cols)
+			return
+		}
+		resp.PGM = make([]string, out.Rows)
+		for i := range resp.PGM {
+			var b strings.Builder
+			if err := dataset.WritePGM(&b, out.Row(i), side); err != nil {
+				httpError(w, http.StatusInternalServerError, "%v", err)
+				return
+			}
+			resp.PGM[i] = b.String()
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"status": "draining"})
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]any{"status": "ok", "models": s.reg.Len()})
+}
+
+// modelInfo is one /modelz entry.
+type modelInfo struct {
+	Name      string    `json:"name"`
+	Version   uint64    `json:"version"`
+	LatentDim int       `json:"latent_dim"`
+	OutputDim int       `json:"output_dim"`
+	Members   []int     `json:"members"`
+	Weights   []float64 `json:"weights"`
+	Network   string    `json:"network"`
+}
+
+func (s *Server) handleModelz(w http.ResponseWriter, r *http.Request) {
+	infos := make([]modelInfo, 0, s.reg.Len())
+	for _, name := range s.reg.Names() {
+		engine, err := s.reg.Engine(name)
+		if err != nil {
+			continue
+		}
+		m := engine.Model()
+		infos = append(infos, modelInfo{
+			Name:      m.Name,
+			Version:   m.Version,
+			LatentDim: m.LatentDim,
+			OutputDim: m.OutputDim,
+			Members:   m.Artifact.Ranks,
+			Weights:   m.Artifact.Weights,
+			Network:   m.Artifact.Cfg.NetworkType,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"models": infos})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.Metrics().WriteText(w)
+}
