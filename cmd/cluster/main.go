@@ -36,6 +36,11 @@ func main() {
 	latent := flag.Int("latent", 32, "latent dimension")
 	seed := flag.Uint64("seed", 1, "random seed")
 	timeout := flag.Duration("connect-timeout", 30*time.Second, "mesh connection timeout")
+	resilient := flag.Bool("resilient", false, "route exchanges through the master so crashed slaves are evicted and their cells reassigned")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "enable deterministic fault injection with this schedule seed (0 = off, implies -resilient)")
+	chaosDrop := flag.Float64("chaos-drop", 0.1, "injected message drop probability (with -chaos-seed)")
+	chaosDup := flag.Float64("chaos-dup", 0.1, "injected message duplication probability (with -chaos-seed)")
+	chaosDelay := flag.Float64("chaos-delay", 0.2, "injected message delay probability (with -chaos-seed)")
 	flag.Parse()
 
 	list := strings.Split(*addrs, ",")
@@ -64,7 +69,19 @@ func main() {
 			*gridSide, *gridSide, cfg.NumTasks(), n))
 	}
 
-	node, err := mpi.ListenTCP(*rank, n, list[*rank])
+	if *chaosSeed != 0 {
+		// Fault injection without recovery would just be a broken job.
+		*resilient = true
+	}
+
+	// The resilient runtime expects peers to misbehave, so pair it with the
+	// hardened transport: connect retries, write deadlines and transparent
+	// reconnection on broken pipes.
+	tcpOpts := mpi.TCPOptions{}
+	if *resilient {
+		tcpOpts = mpi.HardenedTCPOptions()
+	}
+	node, err := mpi.ListenTCPOpts(*rank, n, list[*rank], tcpOpts)
 	if err != nil {
 		fatal(err)
 	}
@@ -77,6 +94,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *chaosSeed != 0 {
+		comm = mpi.FaultyComm(comm, cluster.ChaosPlan(*chaosSeed, *chaosDrop, *chaosDup, *chaosDelay))
+		if *rank == 0 {
+			fmt.Printf("chaos: injecting faults with seed %d (drop %.2f, dup %.2f, delay %.2f)\n",
+				*chaosSeed, *chaosDrop, *chaosDup, *chaosDelay)
+		}
+	}
 	local, err := cluster.SplitLocal(comm)
 	if err != nil {
 		fatal(err)
@@ -84,8 +108,9 @@ func main() {
 
 	if *rank == 0 {
 		res, err := cluster.RunMaster(comm, cluster.MasterOptions{
-			Cfg:  cfg,
-			Logf: func(format string, args ...interface{}) { fmt.Printf(format+"\n", args...) },
+			Cfg:       cfg,
+			Resilient: *resilient,
+			Logf:      func(format string, args ...interface{}) { fmt.Printf(format+"\n", args...) },
 		})
 		if err != nil {
 			fatal(err)

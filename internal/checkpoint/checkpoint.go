@@ -47,6 +47,27 @@ const (
 	maxSection = 256 << 20
 )
 
+// readSection reads one length-prefixed section. The buffer grows with the
+// bytes actually read instead of trusting the declared length, so a
+// corrupt or hostile header cannot force a huge allocation.
+func readSection(r io.Reader, rU64 func() (uint64, error)) ([]byte, error) {
+	n, err := rU64()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSection {
+		return nil, fmt.Errorf("checkpoint: section of %d bytes exceeds limit", n)
+	}
+	b, err := io.ReadAll(io.LimitReader(r, int64(n)))
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(b)) != n {
+		return nil, fmt.Errorf("checkpoint: section truncated at %d of %d bytes: %w", len(b), n, io.ErrUnexpectedEOF)
+	}
+	return b, nil
+}
+
 // Write serialises the checkpoint.
 func Write(w io.Writer, cp *Checkpoint) error {
 	if len(cp.States) != cp.Cfg.NumCells() {
@@ -100,20 +121,7 @@ func Read(r io.Reader) (*Checkpoint, error) {
 		}
 		return binary.LittleEndian.Uint64(b[:]), nil
 	}
-	rBlob := func() ([]byte, error) {
-		n, err := rU64()
-		if err != nil {
-			return nil, err
-		}
-		if n > maxSection {
-			return nil, fmt.Errorf("checkpoint: section of %d bytes exceeds limit", n)
-		}
-		b := make([]byte, n)
-		if _, err := io.ReadFull(br, b); err != nil {
-			return nil, err
-		}
-		return b, nil
-	}
+	rBlob := func() ([]byte, error) { return readSection(br, rU64) }
 	magic, err := rU64()
 	if err != nil || magic != fileMagic {
 		return nil, fmt.Errorf("checkpoint: not a checkpoint stream")
@@ -131,6 +139,9 @@ func Read(r io.Reader) (*Checkpoint, error) {
 	}
 	cfg, err := config.Unmarshal(cfgJSON)
 	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	nStates, err := rU64()

@@ -1,0 +1,94 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"cellgan/internal/core"
+)
+
+// seedCheckpointBytes builds a small valid checkpoint stream for the fuzz
+// corpus (one short sequential run, round-tripped through Write).
+func seedCheckpointBytes(f *testing.F) []byte {
+	f.Helper()
+	res, err := core.RunSequential(tinyCfg(1), core.RunOptions{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	cp, err := FromResult(res)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, cp); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadCheckpoint asserts the checkpoint decoder never panics and never
+// trusts hostile headers: every input either parses into a structurally
+// valid checkpoint (which must re-encode) or returns an error.
+func FuzzReadCheckpoint(f *testing.F) {
+	seed := seedCheckpointBytes(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])          // truncated mid-state
+	f.Add(seed[:24])                   // truncated inside the config blob
+	f.Add([]byte{})                    // empty
+	f.Add(bytes.Repeat([]byte{0}, 64)) // zero garbage
+	// Regression: a header declaring a huge config section over a tiny
+	// stream must fail without attempting the allocation.
+	huge := append([]byte(nil), seed[:24]...)
+	binary.LittleEndian.PutUint64(huge[16:24], maxSection)
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(cp.States) != cp.Cfg.NumCells() {
+			t.Fatalf("decoded checkpoint has %d states for %d cells", len(cp.States), cp.Cfg.NumCells())
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, cp); err != nil {
+			t.Fatalf("accepted checkpoint does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzReadMixture does the same for the deployable mixture artifact.
+func FuzzReadMixture(f *testing.F) {
+	res, err := core.RunSequential(tinyCfg(1), core.RunOptions{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	a, err := ExportMixture(res, res.BestRank)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMixture(&buf, a); err != nil {
+		f.Fatal(err)
+	}
+	seed := buf.Bytes()
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add(seed[:17])
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 48))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := ReadMixture(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(a.Ranks) == 0 || len(a.Ranks) != len(a.Weights) || len(a.Ranks) != len(a.GenParams) {
+			t.Fatalf("accepted artifact is misaligned: %d ranks, %d weights, %d params",
+				len(a.Ranks), len(a.Weights), len(a.GenParams))
+		}
+		var out bytes.Buffer
+		if err := WriteMixture(&out, a); err != nil {
+			t.Fatalf("accepted artifact does not re-encode: %v", err)
+		}
+	})
+}

@@ -179,20 +179,7 @@ func ReadMixture(r io.Reader) (*MixtureArtifact, error) {
 		}
 		return binary.LittleEndian.Uint64(b[:]), nil
 	}
-	rBlob := func() ([]byte, error) {
-		n, err := rU64()
-		if err != nil {
-			return nil, err
-		}
-		if n > maxSection {
-			return nil, fmt.Errorf("checkpoint: section of %d bytes exceeds limit", n)
-		}
-		b := make([]byte, n)
-		if _, err := io.ReadFull(br, b); err != nil {
-			return nil, err
-		}
-		return b, nil
-	}
+	rBlob := func() ([]byte, error) { return readSection(br, rU64) }
 	magic, err := rU64()
 	if err != nil || magic != mixtureMagic {
 		return nil, fmt.Errorf("checkpoint: not a mixture artifact stream")
@@ -210,6 +197,11 @@ func ReadMixture(r io.Reader) (*MixtureArtifact, error) {
 	}
 	cfg, err := config.Unmarshal(cfgJSON)
 	if err != nil {
+		return nil, err
+	}
+	// Validate before NumCells is trusted: a hostile config could
+	// otherwise declare an enormous grid and drive the allocations below.
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	nMembers, err := rU64()

@@ -1,11 +1,14 @@
 package clientserver
 
 import (
+	"errors"
 	"io"
 	"math"
 	"net"
 	"net/http"
+	"strings"
 	"testing"
+	"time"
 
 	"cellgan/internal/config"
 	"cellgan/internal/core"
@@ -122,6 +125,53 @@ func TestPullNon200(t *testing.T) {
 	defer srv.Close()
 	if _, err := pull(http.DefaultClient, url); err == nil {
 		t.Fatal("503 accepted")
+	}
+}
+
+func TestPullTimeout(t *testing.T) {
+	// A neighbour that accepts the connection but never answers must not
+	// hang the exchange: the client's timeout bounds the pull, and the
+	// error must be classified as a timeout so callers can tell a slow
+	// peer from a dead one.
+	mux := http.NewServeMux()
+	mux.HandleFunc(statePath, func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // hold until the client gives up
+	})
+	srv := &http.Server{Handler: mux}
+	ln, url := listenLoopback(t)
+	go srv.Serve(ln) //nolint:errcheck
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 100 * time.Millisecond}
+	start := time.Now()
+	_, err := pull(client, url)
+	if err == nil {
+		t.Fatal("stalled server accepted")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("stalled pull error is not a timeout: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("pull hung %v past the client timeout", elapsed)
+	}
+}
+
+func TestPullConnectionRefused(t *testing.T) {
+	// Reserve a loopback port, then close it: the address is syntactically
+	// valid but nothing listens, so the dial must be refused immediately.
+	ln, url := listenLoopback(t)
+	ln.Close()
+	_, err := pull(http.DefaultClient, url)
+	if err == nil {
+		t.Fatal("refused connection accepted")
+	}
+	if !strings.Contains(err.Error(), url) {
+		t.Fatalf("error does not name the unreachable peer: %v", err)
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		t.Fatalf("connection refusal misclassified as timeout: %v", err)
 	}
 }
 

@@ -25,6 +25,24 @@ type MasterOptions struct {
 	// Logf, when non-nil, receives the master's event log lines as they
 	// are produced.
 	Logf func(format string, args ...interface{})
+
+	// Resilient enables the failure-tolerant runtime: the per-iteration
+	// neighbour exchange is routed through the master in synchronous
+	// rounds, and a slave that misses MaxStrikes consecutive rounds is
+	// evicted with its cells re-dispatched to survivors from their last
+	// gathered state. Eviction is driven by round progress — which is
+	// message-schedule-determined — rather than wall-clock heartbeats, so
+	// chaos runs with a fixed (seed, schedule) are reproducible.
+	Resilient bool
+	// RoundTimeout is how long the master waits for the next state update
+	// in a round before striking the laggards (resilient mode only);
+	// 0 defaults to 1 s. Strikes are progress-gated: a slave is only
+	// struck while at least one peer has already delivered the round, so
+	// uniform slowness never evicts anyone.
+	RoundTimeout time.Duration
+	// MaxStrikes is how many consecutive missed rounds evict a slave
+	// (resilient mode only); 0 defaults to 3.
+	MaxStrikes int
 }
 
 // RunMaster executes the master role on rank 0 of comm (Fig 3, left). The
@@ -49,6 +67,15 @@ func RunMaster(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) {
 	}
 	if opts.HeartbeatTimeout <= 0 {
 		opts.HeartbeatTimeout = 10 * time.Second
+	}
+	if opts.RoundTimeout <= 0 {
+		opts.RoundTimeout = time.Second
+	}
+	if opts.MaxStrikes <= 0 {
+		opts.MaxStrikes = 3
+	}
+	if opts.Resilient {
+		return runMasterResilient(comm, opts)
 	}
 
 	res := &JobResult{}

@@ -27,6 +27,15 @@ const (
 	tagResult = 105
 	// tagShutdown: master → slave, terminate the main loop.
 	tagShutdown = 106
+	// tagStateUpdate: slave → master (resilient mode), the per-round
+	// stateUpdate carrying full training state of every owned cell.
+	tagStateUpdate = 107
+	// tagNeighborSet: master → slave (resilient mode), the per-round
+	// neighborSet with every cell's exchanged state plus adoption orders.
+	tagNeighborSet = 108
+	// tagStateResend: master → slave (resilient mode), ask the slave to
+	// re-send its latest state update (the previous one was lost).
+	tagStateResend = 109
 )
 
 // SlaveState is the state machine of Fig 2.
@@ -64,6 +73,11 @@ type runTask struct {
 	Node string `json:"node"`
 	// Core is the core index assigned on the node.
 	Core int `json:"core"`
+	// Resilient selects the failure-tolerant exchange mode: the slave
+	// routes per-iteration neighbour exchange through the master
+	// (tagStateUpdate/tagNeighborSet rounds) instead of the LOCAL
+	// allgather, so the master can reassign cells when a slave dies.
+	Resilient bool `json:"resilient,omitempty"`
 }
 
 func (r runTask) marshal() ([]byte, error) { return json.Marshal(r) }
@@ -98,8 +112,12 @@ type SlaveReport struct {
 	State []byte `json:"state"`
 	// Profile is the slave's routine timing snapshot.
 	Profile []byte `json:"profile"`
+	// Full is the marshalled core.FullState of the cell at the end of
+	// training (resilient mode only): the bit-exact resume state used by
+	// the golden determinism checks and checkpoint export.
+	Full []byte `json:"full,omitempty"`
 	// Error is non-empty when the slave's training failed; the control
-	// protocol still completes so the master can shut the job down.
+	// protocol still completes so the master can collect and shut down.
 	Error string `json:"error,omitempty"`
 }
 
@@ -111,6 +129,94 @@ func parseSlaveReport(data []byte) (SlaveReport, error) {
 		return r, fmt.Errorf("cluster: parsing slave report: %w", err)
 	}
 	return r, nil
+}
+
+// marshalReports encodes the multi-cell report list a resilient slave
+// returns on tagCollect (a slave owns several cells after adoptions).
+func marshalReports(rs []SlaveReport) ([]byte, error) { return json.Marshal(rs) }
+
+// parseSlaveReports decodes a report list; an empty payload means the
+// slave is not finished yet (the master retries).
+func parseSlaveReports(data []byte) ([]SlaveReport, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	var rs []SlaveReport
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("cluster: parsing slave reports: %w", err)
+	}
+	return rs, nil
+}
+
+// cellBlob carries one cell's complete training state (a marshalled
+// core.FullState) between slave and master. It is the unit of both the
+// per-round state upload and the adoption order that re-dispatches a dead
+// slave's cell to a survivor.
+type cellBlob struct {
+	CellRank  int `json:"cell_rank"`
+	Iteration int `json:"iteration"`
+	// Full is the marshalled core.FullState; nil in an adoption order
+	// means "start the cell from scratch" (no state was ever gathered).
+	Full []byte `json:"full,omitempty"`
+	// Failed marks a cell whose training errored; the master stops
+	// scheduling iterations for it.
+	Failed bool   `json:"failed,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Fitness is the cell's current mixture fitness (inf() until the
+	// first iteration completes).
+	Fitness float64 `json:"fitness"`
+}
+
+// stateUpdate is a resilient slave's per-round upload: the full state of
+// every cell it owns, tagged with the globally-synchronous round number.
+type stateUpdate struct {
+	Slave int        `json:"slave"`
+	Round int        `json:"round"`
+	Cells []cellBlob `json:"cells"`
+}
+
+func (u stateUpdate) marshal() ([]byte, error) { return json.Marshal(u) }
+
+func parseStateUpdate(data []byte) (stateUpdate, error) {
+	var u stateUpdate
+	if err := json.Unmarshal(data, &u); err != nil {
+		return u, fmt.Errorf("cluster: parsing state update: %w", err)
+	}
+	return u, nil
+}
+
+// wireState is one cell's exchanged centers (a marshalled core.CellState)
+// inside a neighborSet.
+type wireState struct {
+	Rank int    `json:"rank"`
+	Iter int    `json:"iter"`
+	Data []byte `json:"data"`
+}
+
+// neighborSet is the master's per-round reply in resilient mode: the
+// exchanged state of every grid cell (replacing the LOCAL allgather),
+// adoption orders for reassigned cells, and the round-control flags.
+type neighborSet struct {
+	Round int `json:"round"`
+	// Done ends training: slaves finalise their reports after applying
+	// this set. Abort marks a time-limit stop (Done is also set).
+	Done  bool `json:"done,omitempty"`
+	Abort bool `json:"abort,omitempty"`
+	// States holds every cell's current exchange state, sorted by rank.
+	States []wireState `json:"states"`
+	// Adopt lists cells this slave must take over from a dead peer,
+	// restoring from the embedded full state.
+	Adopt []cellBlob `json:"adopt,omitempty"`
+}
+
+func (n neighborSet) marshal() ([]byte, error) { return json.Marshal(n) }
+
+func parseNeighborSet(data []byte) (neighborSet, error) {
+	var n neighborSet
+	if err := json.Unmarshal(data, &n); err != nil {
+		return n, fmt.Errorf("cluster: parsing neighbor set: %w", err)
+	}
+	return n, nil
 }
 
 // Transition is one observed slave state change, the raw material of the

@@ -1,0 +1,8 @@
+//go:build race
+
+package cluster
+
+// raceEnabled widens chaos-test timeouts: under the race detector the
+// in-process grid runs roughly an order of magnitude slower, and a round
+// deadline tuned for native speed would evict healthy-but-slow slaves.
+const raceEnabled = true

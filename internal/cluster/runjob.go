@@ -63,3 +63,77 @@ func RunJob(opts MasterOptions) (*JobResult, error) {
 	}
 	return res, nil
 }
+
+// ChaosPlan builds a fault-injection plan scoped to the runtime's chatty
+// message streams — heartbeats and the resilient exchange rounds — leaving
+// the bootstrap (node names, run tasks) and collection protocol reliable.
+// All decisions derive from the seed and per-stream message counts, so a
+// given (seed, probabilities) pair injects the same faults on every run.
+func ChaosPlan(seed uint64, drop, dup, delay float64) mpi.FaultPlan {
+	return mpi.FaultPlan{
+		Seed:      seed,
+		DropProb:  drop,
+		DupProb:   dup,
+		DelayProb: delay,
+		Tags:      []int{tagStatus, tagStateUpdate, tagNeighborSet, tagStateResend},
+	}
+}
+
+// RunJobChaos is RunJob with a deterministic fault plan applied to every
+// rank's communicator (see mpi.FaultyComm). Slave failures caused by the
+// plan — injected crashes, or the master closing the world after the job —
+// are expected and not reported as errors; the master's outcome decides.
+func RunJobChaos(opts MasterOptions, plan mpi.FaultPlan) (*JobResult, error) {
+	if err := opts.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := opts.Cfg.NumTasks()
+	world, err := mpi.NewWorld(n)
+	if err != nil {
+		return nil, err
+	}
+	defer world.Close()
+
+	var res *JobResult
+	var masterErr error
+	var wg sync.WaitGroup
+	for rank := 0; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			comm, err := world.Comm(rank)
+			if err != nil {
+				if rank == 0 {
+					masterErr = err
+				}
+				return
+			}
+			comm = mpi.FaultyComm(comm, plan)
+			local, err := SplitLocal(comm)
+			if err != nil {
+				if rank == 0 {
+					masterErr = err
+				}
+				return
+			}
+			if rank == 0 {
+				res, masterErr = RunMaster(comm, opts)
+				// Unblock any zombie slaves still receiving (an evicted
+				// slave that missed its shutdown, or a crashed rank).
+				world.Close()
+				return
+			}
+			// Slave errors are tolerated: a chaos run kills slaves on
+			// purpose and the world close above ends the stragglers.
+			_ = RunSlave(comm, local)
+		}(rank)
+	}
+	wg.Wait()
+	if masterErr != nil {
+		return nil, masterErr
+	}
+	if res == nil {
+		return nil, fmt.Errorf("cluster: chaos job produced no result")
+	}
+	return res, nil
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
+	"sync"
 	"sync/atomic"
 
 	"cellgan/internal/core"
@@ -25,6 +27,18 @@ type slave struct {
 	// report holds the final result after that.
 	done   chan struct{}
 	report SlaveReport
+
+	// Resilient-mode plumbing: the control loop stays the sole receiver
+	// and forwards parsed neighbor sets to the execution thread.
+	resilient  bool
+	quit       chan struct{} // closed when the control loop exits
+	neighborCh chan neighborSet
+
+	// updMu guards latestUpdate (the cached last state upload, re-sent on
+	// tagStateResend) and reports (the multi-cell result list).
+	updMu        sync.Mutex
+	latestUpdate []byte
+	reports      []SlaveReport
 }
 
 func (s *slave) setState(st SlaveState) { s.state.Store(uint32(st)) }
@@ -42,8 +56,17 @@ func RunSlave(comm *mpi.Comm, local *mpi.Comm) error {
 	if local == nil {
 		return fmt.Errorf("cluster: RunSlave needs the LOCAL communicator")
 	}
-	s := &slave{world: comm, local: local, done: make(chan struct{})}
+	s := &slave{
+		world:      comm,
+		local:      local,
+		done:       make(chan struct{}),
+		quit:       make(chan struct{}),
+		neighborCh: make(chan neighborSet, 8),
+	}
 	s.setState(StateInactive)
+	// Whatever ends the control loop (shutdown, comm failure, injected
+	// crash) must also release a blocked execution thread.
+	defer close(s.quit)
 
 	// Send this node's name to the master (Fig 3: "Send node name").
 	host, err := os.Hostname()
@@ -72,14 +95,59 @@ func RunSlave(comm *mpi.Comm, local *mpi.Comm) error {
 			s.setState(StateProcessing)
 			// Launch the execution thread (Fig 3: "Create execution
 			// thread"); the main thread keeps serving heartbeats.
-			go s.execute(task)
+			if task.Resilient {
+				s.resilient = true
+				go s.executeResilient(task)
+			} else {
+				go s.execute(task)
+			}
 		case tagStatus:
 			if err := comm.Send(0, tagStatus, []byte{byte(s.currentState())}); err != nil {
 				return err
 			}
 		case tagAbort:
 			s.abort.Store(true)
+		case tagNeighborSet:
+			ns, err := parseNeighborSet(m.Data)
+			if err != nil {
+				return err
+			}
+			// Non-blocking hand-off: a full channel means the execution
+			// thread is behind on duplicates/resends it will dedupe anyway.
+			select {
+			case s.neighborCh <- ns:
+			default:
+			}
+		case tagStateResend:
+			s.updMu.Lock()
+			upd := s.latestUpdate
+			s.updMu.Unlock()
+			if upd != nil {
+				if err := comm.Send(0, tagStateUpdate, upd); err != nil {
+					return err
+				}
+			}
 		case tagCollect:
+			if s.resilient {
+				// Non-blocking: an empty reply means "not finished yet"
+				// and the master retries after re-sending the last round.
+				var payload []byte
+				select {
+				case <-s.done:
+					s.updMu.Lock()
+					rs := s.reports
+					s.updMu.Unlock()
+					payload, err = marshalReports(rs)
+					if err != nil {
+						return err
+					}
+				default:
+				}
+				if err := comm.Send(0, tagResult, payload); err != nil {
+					return err
+				}
+				break
+			}
 			<-s.done // training must be over before reporting
 			payload, err := s.report.marshal()
 			if err != nil {
@@ -200,6 +268,200 @@ func (s *slave) execute(task runTask) {
 	report.State = finalState.Marshal()
 	report.Profile = profile.EncodeSnapshot(prof.Snapshot())
 	s.report = report
+}
+
+// executeResilient is the execution thread in failure-tolerant mode: the
+// per-iteration neighbour exchange is routed through the master in
+// globally-synchronous rounds (upload full state → receive neighbor set →
+// iterate) instead of the LOCAL allgather. The indirection is what makes
+// recovery possible: the master always holds every cell's last full state,
+// so when a slave dies it can re-dispatch the lost cells to survivors via
+// adoption orders — which this thread applies by rebuilding the cell and
+// restoring bit-exact state (core.RestoreFull).
+func (s *slave) executeResilient(task runTask) {
+	defer close(s.done)
+	defer s.setState(StateFinished)
+
+	prof := profile.New()
+	finishErr := func(err error) {
+		s.updMu.Lock()
+		s.reports = []SlaveReport{{
+			CellRank: task.CellRank, Node: task.Node,
+			MixtureFitness: inf(), Error: err.Error(),
+		}}
+		s.updMu.Unlock()
+	}
+
+	g, err := core.BuildGridFor(task.Cfg)
+	if err != nil {
+		finishErr(err)
+		return
+	}
+	owned := make(map[int]*core.Cell)
+	failed := make(map[int]bool)
+	errNote := make(map[int]string)
+	fitness := make(map[int]float64)
+	cell, err := core.NewCell(task.Cfg, task.CellRank, g, prof)
+	if err != nil {
+		finishErr(err)
+		return
+	}
+	owned[task.CellRank] = cell
+	fitness[task.CellRank] = inf()
+
+	target := task.Cfg.Iterations
+	round := 0
+	for {
+		// (1) Upload the full state of every owned cell for this round.
+		upd := stateUpdate{Slave: s.world.Rank(), Round: round}
+		for _, r := range sortedRanks(owned) {
+			c := owned[r]
+			f, err := c.FullState()
+			if err != nil {
+				finishErr(err)
+				return
+			}
+			upd.Cells = append(upd.Cells, cellBlob{
+				CellRank: r, Iteration: c.Iteration(), Full: f.Marshal(),
+				Failed: failed[r], Error: errNote[r], Fitness: fitness[r],
+			})
+		}
+		payload, err := upd.marshal()
+		if err != nil {
+			finishErr(err)
+			return
+		}
+		s.updMu.Lock()
+		s.latestUpdate = payload
+		s.updMu.Unlock()
+		if err := s.world.Send(0, tagStateUpdate, payload); err != nil {
+			finishErr(err)
+			return
+		}
+
+		// (2) Await this round's neighbor set; duplicates and stale
+		// resends carry a lower round number and are dropped.
+		var ns neighborSet
+		for {
+			select {
+			case ns = <-s.neighborCh:
+			case <-s.quit:
+				finishErr(fmt.Errorf("cluster: slave %d control loop exited mid-round", s.world.Rank()))
+				return
+			}
+			if ns.Round >= round {
+				break
+			}
+		}
+
+		// (3) Adopt cells reassigned from a dead slave, restoring their
+		// last gathered state (adoption is idempotent under resends).
+		for _, ad := range ns.Adopt {
+			if _, ok := owned[ad.CellRank]; ok {
+				continue
+			}
+			c, err := core.NewCell(task.Cfg, ad.CellRank, g, prof)
+			if err != nil {
+				finishErr(err)
+				return
+			}
+			if len(ad.Full) > 0 {
+				f, err := core.UnmarshalFullState(ad.Full)
+				if err != nil {
+					finishErr(err)
+					return
+				}
+				if err := c.RestoreFull(f); err != nil {
+					finishErr(err)
+					return
+				}
+			}
+			owned[ad.CellRank] = c
+			failed[ad.CellRank] = ad.Failed
+			errNote[ad.CellRank] = ad.Error
+			fitness[ad.CellRank] = ad.Fitness
+		}
+
+		// (4) Neighbour exchange: apply every cell's state, exactly like
+		// the allgather path but sourced from the master's merged view.
+		states := make(map[int]*core.CellState, len(ns.States))
+		for _, ws := range ns.States {
+			st, err := core.UnmarshalCellState(ws.Data)
+			if err != nil {
+				finishErr(err)
+				return
+			}
+			states[st.Rank] = st
+		}
+		for _, r := range sortedRanks(owned) {
+			if err := owned[r].SetNeighbors(states); err != nil {
+				finishErr(err)
+				return
+			}
+		}
+
+		if ns.Done {
+			s.finalizeResilient(task, owned, failed, errNote, fitness, ns.Abort, prof)
+			return
+		}
+
+		// (5) Train one iteration on every unfinished cell. Per-cell
+		// failures are reported upward instead of stalling the round.
+		for _, r := range sortedRanks(owned) {
+			c := owned[r]
+			if failed[r] || c.Iteration() >= target {
+				continue
+			}
+			stats, err := c.Iterate()
+			if err != nil {
+				failed[r] = true
+				errNote[r] = err.Error()
+				continue
+			}
+			fitness[r] = stats.MixtureFitness
+		}
+		round = ns.Round + 1
+	}
+}
+
+// finalizeResilient builds one report per owned cell after the Done round.
+func (s *slave) finalizeResilient(task runTask, owned map[int]*core.Cell, failed map[int]bool, errNote map[int]string, fitness map[int]float64, aborted bool, prof *profile.Profiler) {
+	profBytes := profile.EncodeSnapshot(prof.Snapshot())
+	var reports []SlaveReport
+	for _, r := range sortedRanks(owned) {
+		c := owned[r]
+		rep := SlaveReport{
+			CellRank: r, Node: task.Node, Iterations: c.Iteration(),
+			Aborted: aborted, Profile: profBytes, Error: errNote[r],
+			MixtureFitness: fitness[r],
+		}
+		if c.Iteration() == 0 || failed[r] {
+			rep.MixtureFitness = inf()
+		}
+		if st, err := c.State(); err == nil {
+			rep.State = st.Marshal()
+		}
+		if f, err := c.FullState(); err == nil {
+			rep.Full = f.Marshal()
+		}
+		rep.MixtureRanks = append([]int(nil), c.Mixture().Ranks...)
+		rep.MixtureWeights = append([]float64(nil), c.Mixture().Weights...)
+		reports = append(reports, rep)
+	}
+	s.updMu.Lock()
+	s.reports = reports
+	s.updMu.Unlock()
+}
+
+// sortedRanks returns the owned cell ranks in ascending order, keeping
+// per-round work deterministic regardless of map iteration order.
+func sortedRanks(owned map[int]*core.Cell) []int {
+	ranks := make([]int, 0, len(owned))
+	for r := range owned {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	return ranks
 }
 
 func abortByte(b bool) byte {

@@ -170,6 +170,9 @@ func (c Config) MemoryMB() int {
 }
 
 // Validate reports the first configuration error found.
+// maxGridSide bounds GridRows/GridCols in Validate (paper max is 4).
+const maxGridSide = 64
+
 func (c Config) Validate() error {
 	switch {
 	case c.NetworkType != "MLP" && c.NetworkType != "CNN":
@@ -196,6 +199,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("config: tournament size %d must be positive", c.TournamentSize)
 	case c.GridRows <= 0 || c.GridCols <= 0:
 		return fmt.Errorf("config: grid %d×%d must be positive", c.GridRows, c.GridCols)
+	case c.GridRows > maxGridSide || c.GridCols > maxGridSide:
+		// The paper's grids top out at 4×4; the cap keeps decoded configs
+		// (checkpoints, wire payloads) from driving huge allocations.
+		return fmt.Errorf("config: grid %d×%d exceeds the %d×%d limit", c.GridRows, c.GridCols, maxGridSide, maxGridSide)
 	case c.MixtureMutationScale < 0:
 		return fmt.Errorf("config: mixture mutation scale %g must be non-negative", c.MixtureMutationScale)
 	case c.Neighborhood != "" && c.Neighborhood != "moore5" && c.Neighborhood != "moore9" && c.Neighborhood != "ring4":

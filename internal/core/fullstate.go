@@ -121,7 +121,9 @@ func UnmarshalFullState(data []byte) (*FullState, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: full state loader: %w", err)
 	}
-	if permLen > maxFullStateList {
+	// Each entry is 8 bytes; a declared length beyond the remaining input
+	// is corrupt, and checking first keeps the allocation honest.
+	if permLen > maxFullStateList || permLen > uint64(rd.Len())/8 {
 		return nil, fmt.Errorf("core: implausible permutation length %d", permLen)
 	}
 	f.Loader.Perm = make([]int, permLen)
@@ -151,7 +153,8 @@ func UnmarshalFullState(data []byte) (*FullState, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: full state mixture: %w", err)
 	}
-	if mixLen > maxFullStateList {
+	// Ranks and weights are 16 bytes per entry; bound by what remains.
+	if mixLen > maxFullStateList || mixLen > uint64(rd.Len())/16 {
 		return nil, fmt.Errorf("core: implausible mixture length %d", mixLen)
 	}
 	f.MixtureRanks = make([]int, mixLen)

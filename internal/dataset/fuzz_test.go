@@ -1,0 +1,89 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// idxImageSeed round-trips a tiny valid image set through WriteIDXImages.
+func idxImageSeed(f *testing.F, n int) []byte {
+	f.Helper()
+	images := make([][]float64, n)
+	for i := range images {
+		img := make([]float64, Pixels)
+		for p := range img {
+			img[p] = float64((i+p)%256)/255*2 - 1
+		}
+		images[i] = img
+	}
+	var buf bytes.Buffer
+	if err := WriteIDXImages(&buf, images); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadIDXImages asserts the IDX image decoder never panics and that any
+// accepted set is structurally sound.
+func FuzzReadIDXImages(f *testing.F) {
+	seed := idxImageSeed(f, 3)
+	f.Add(seed)
+	f.Add(seed[:len(seed)-Pixels/2]) // truncated mid-image
+	f.Add(seed[:16])                 // header only
+	f.Add(seed[:3])                  // truncated inside the header
+	f.Add([]byte{})
+	f.Add([]byte{0x1f, 0x8b}) // gzip magic, no stream
+	// Valid header declaring a million images over an empty body: must
+	// error on the first read, not allocate for the declared count.
+	var lie bytes.Buffer
+	for _, v := range []uint32{idxMagicImages, 1_000_000, Side, Side} {
+		binary.Write(&lie, binary.BigEndian, v)
+	}
+	f.Add(lie.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		images, err := ReadIDXImages(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, img := range images {
+			if len(img) != Pixels {
+				t.Fatalf("image %d has %d pixels, want %d", i, len(img), Pixels)
+			}
+			for p, v := range img {
+				if v < -1 || v > 1 {
+					t.Fatalf("image %d pixel %d out of [-1,1]: %g", i, p, v)
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadIDXLabels does the same for the label decoder.
+func FuzzReadIDXLabels(f *testing.F) {
+	var buf bytes.Buffer
+	if err := WriteIDXLabels(&buf, []int{0, 5, 9, 3}); err != nil {
+		f.Fatal(err)
+	}
+	seed := buf.Bytes()
+	f.Add(seed)
+	f.Add(seed[:len(seed)-2])
+	f.Add(seed[:8])
+	f.Add([]byte{})
+	var lie bytes.Buffer
+	for _, v := range []uint32{idxMagicLabels, 5_000_000} {
+		binary.Write(&lie, binary.BigEndian, v)
+	}
+	f.Add(lie.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		labels, err := ReadIDXLabels(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, l := range labels {
+			if l < 0 || l > 255 {
+				t.Fatalf("label %d out of byte range: %d", i, l)
+			}
+		}
+	})
+}

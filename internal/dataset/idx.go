@@ -163,7 +163,13 @@ func ReadIDXImages(r io.Reader) ([][]float64, error) {
 	if rows != Side || cols != Side {
 		return nil, fmt.Errorf("dataset: IDX images are %d×%d, want %d×%d", rows, cols, Side, Side)
 	}
-	out := make([][]float64, n)
+	// Grow with the images actually read: a header declaring millions of
+	// images backed by a truncated stream must not pre-allocate for them.
+	capHint := n
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	out := make([][]float64, 0, capHint)
 	buf := make([]byte, Pixels)
 	for i := 0; i < n; i++ {
 		if _, err := io.ReadFull(rr, buf); err != nil {
@@ -173,7 +179,7 @@ func ReadIDXImages(r io.Reader) ([][]float64, error) {
 		for p, b := range buf {
 			img[p] = float64(b)/255*2 - 1
 		}
-		out[i] = img
+		out = append(out, img)
 	}
 	return out, nil
 }
@@ -197,9 +203,13 @@ func ReadIDXLabels(r io.Reader) ([]int, error) {
 	if n < 0 || n > maxIDXCount {
 		return nil, fmt.Errorf("dataset: implausible IDX label count %d", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(rr, buf); err != nil {
+	// Same growth discipline as images: trust the bytes, not the header.
+	buf, err := io.ReadAll(io.LimitReader(rr, int64(n)))
+	if err != nil {
 		return nil, fmt.Errorf("dataset: IDX labels: %w", err)
+	}
+	if len(buf) != n {
+		return nil, fmt.Errorf("dataset: IDX labels truncated at %d of %d: %w", len(buf), n, io.ErrUnexpectedEOF)
 	}
 	out := make([]int, n)
 	for i, b := range buf {

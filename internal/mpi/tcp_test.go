@@ -238,3 +238,87 @@ func TestTCPConnectTimeout(t *testing.T) {
 		t.Fatal("connect to dead address succeeded")
 	}
 }
+
+// startTCPWorldOpts is startTCPWorld with explicit transport options.
+func startTCPWorldOpts(t *testing.T, n int, opts TCPOptions) []*TCPNode {
+	t.Helper()
+	nodes := make([]*TCPNode, n)
+	addrs := make([]string, n)
+	for r := 0; r < n; r++ {
+		node, err := ListenTCPOpts(r, n, "127.0.0.1:0", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[r] = node
+		addrs[r] = node.Addr()
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for _, node := range nodes {
+		wg.Add(1)
+		go func(nd *TCPNode) {
+			defer wg.Done()
+			errs <- nd.Connect(addrs, 5*time.Second)
+		}(node)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	})
+	return nodes
+}
+
+func TestTCPReconnect(t *testing.T) {
+	nodes := startTCPWorldOpts(t, 2, TCPOptions{
+		WriteTimeout:      2 * time.Second,
+		ReconnectAttempts: 5,
+		ReconnectBackoff:  5 * time.Millisecond,
+		DialTimeout:       2 * time.Second,
+	})
+	c0, err := nodes[0].WorldComm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := nodes[1].WorldComm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c0.Send(1, 5, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := c1.Recv(0, 5); err != nil || string(m.Data) != "before" {
+		t.Fatalf("pre-break message: %v %v", m, err)
+	}
+
+	// Sever the link from rank 0's side; the next send must notice the
+	// broken pipe, re-dial rank 1, and deliver the frame.
+	nodes[0].mu.Lock()
+	conn := nodes[0].conns[1]
+	nodes[0].mu.Unlock()
+	conn.Close()
+
+	if err := c0.Send(1, 5, []byte("after")); err != nil {
+		t.Fatalf("send after break: %v", err)
+	}
+	m, err := c1.RecvTimeout(0, 5, 5*time.Second)
+	if err != nil || string(m.Data) != "after" {
+		t.Fatalf("post-reconnect message: %v %v", m, err)
+	}
+
+	// The replacement connection works in both directions.
+	if err := c1.Send(0, 6, []byte("reply")); err != nil {
+		t.Fatalf("reverse send: %v", err)
+	}
+	m, err = c0.RecvTimeout(1, 6, 5*time.Second)
+	if err != nil || string(m.Data) != "reply" {
+		t.Fatalf("reverse message: %v %v", m, err)
+	}
+}
