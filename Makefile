@@ -1,7 +1,7 @@
 # make check mirrors .github/workflows/ci.yml for local runs.
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench bench-smoke bench-json
 
 check: fmt vet build test race
 
@@ -25,3 +25,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark: catches benchmarks that no longer
+# compile or panic, without the cost of a measured run.
+bench-smoke:
+	$(GO) test -run=NoTests -bench=. -benchtime=1x ./...
+
+# Measured compute benchmarks archived as machine-readable JSON.
+bench-json:
+	$(GO) test -run=NoTests -bench=. -benchmem ./internal/tensor/ ./internal/nn/ \
+		| $(GO) run ./cmd/benchjson > BENCH_compute.json
+	@echo wrote BENCH_compute.json

@@ -1,0 +1,79 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// JSON report on stdout, so CI and the experiment scripts can archive
+// benchmark runs as machine-readable artifacts (e.g. BENCH_compute.json).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./internal/tensor/ | go run ./cmd/benchjson
+//
+// Each benchmark line becomes one record with the iteration count and
+// every value/unit pair (ns/op, B/op, allocs/op, MB/s, custom metrics).
+// Non-benchmark lines are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name string `json:"name"`
+	// Iterations is the b.N the measurement averaged over.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value, e.g. "ns/op" → 9530000.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Results []Result `json:"results"`
+}
+
+// parseLine parses a `BenchmarkName-8   123   456 ns/op   789 B/op` line;
+// ok is false for anything that is not a benchmark result.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}
+
+func main() {
+	var rep Report
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			rep.Results = append(rep.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

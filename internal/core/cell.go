@@ -50,6 +50,105 @@ type Cell struct {
 	// lossSet is the Mustangs loss pool the loss-gene mutation draws
 	// from; a single-element set reproduces plain Lipizzaner.
 	lossSet []GANLoss
+
+	// ws owns every reusable buffer of the training loop. A nil ws (the
+	// test hook exercised by the bit-exactness tests) falls back to the
+	// allocating code paths everywhere; both paths produce identical
+	// results.
+	ws *cellWorkspace
+}
+
+// cellWorkspace aggregates the reusable buffers of one cell's training
+// iteration. Distinct nn workspaces keep the aliasing reasoning local:
+// each forward→backward pair completes on its own workspace before that
+// workspace is reused, and fitness evaluations never clobber a training
+// pass in flight.
+type cellWorkspace struct {
+	genWS, discWS         *nn.Workspace // training fwd/bwd (generator, discriminator nets)
+	evalGenWS, evalDiscWS *nn.Workspace // fitness-evaluation forwards
+	zTrain, zEval         *tensor.Mat   // latent batches (mini-batch / eval sized)
+	train, eval           *lossScratch  // loss gradient + target buffers
+	sampleWS              *SampleWorkspace
+}
+
+func newCellWorkspace() *cellWorkspace {
+	return &cellWorkspace{
+		genWS:      nn.NewWorkspace(),
+		discWS:     nn.NewWorkspace(),
+		evalGenWS:  nn.NewWorkspace(),
+		evalDiscWS: nn.NewWorkspace(),
+		zTrain:     new(tensor.Mat),
+		zEval:      new(tensor.Mat),
+		train:      &lossScratch{},
+		eval:       &lossScratch{},
+		sampleWS:   NewSampleWorkspace(),
+	}
+}
+
+// The accessors tolerate a nil receiver so every call site can thread the
+// optional workspace through unconditionally.
+
+func (w *cellWorkspace) gen() *nn.Workspace {
+	if w == nil {
+		return nil
+	}
+	return w.genWS
+}
+
+func (w *cellWorkspace) disc() *nn.Workspace {
+	if w == nil {
+		return nil
+	}
+	return w.discWS
+}
+
+func (w *cellWorkspace) evalGen() *nn.Workspace {
+	if w == nil {
+		return nil
+	}
+	return w.evalGenWS
+}
+
+func (w *cellWorkspace) evalDisc() *nn.Workspace {
+	if w == nil {
+		return nil
+	}
+	return w.evalDiscWS
+}
+
+func (w *cellWorkspace) zTrainBuf() *tensor.Mat {
+	if w == nil {
+		return nil
+	}
+	return w.zTrain
+}
+
+func (w *cellWorkspace) zEvalBuf() *tensor.Mat {
+	if w == nil {
+		return nil
+	}
+	return w.zEval
+}
+
+func (w *cellWorkspace) trainScratch() *lossScratch {
+	if w == nil {
+		return nil
+	}
+	return w.train
+}
+
+func (w *cellWorkspace) evalScratch() *lossScratch {
+	if w == nil {
+		return nil
+	}
+	return w.eval
+}
+
+func (w *cellWorkspace) sample() *SampleWorkspace {
+	if w == nil {
+		return nil
+	}
+	return w.sampleWS
 }
 
 // IterStats summarises one training iteration of a cell.
@@ -138,6 +237,7 @@ func NewCellWithData(cfg config.Config, rank int, g *grid.Grid, prof *profile.Pr
 		lossSet: lossSet,
 		gen:     &Genome{Net: BuildGenerator(cfg, rng), LR: cfg.InitialLearningRate, Loss: lossSet[0]},
 		disc:    &Genome{Net: BuildDiscriminator(cfg, rng), LR: cfg.InitialLearningRate, Loss: lossSet[0]},
+		ws:      newCellWorkspace(),
 	}
 	c.genOpt = optFor(c.gen.LR)
 	c.discOpt = optFor(c.disc.LR)
@@ -314,55 +414,78 @@ func (c *Cell) tournamentSelect(pop map[int]*Genome, eval func(*Genome) float64)
 }
 
 // discFitnessOn returns the discriminator's BCE loss on a real batch plus
-// fakes from the center generator (lower = fitter).
+// fakes from the center generator (lower = fitter). fake may alias the
+// eval-generator workspace; the forwards here run on the eval-disc
+// workspace only.
 func (c *Cell) discFitnessOn(d *Genome, real *tensor.Mat, fake *tensor.Mat) float64 {
-	logitsReal := d.Net.Forward(real)
-	ones := tensor.Full(logitsReal.Rows, 1, 1)
-	lossReal, _ := nn.BCEWithLogitsLoss(logitsReal, ones)
-	logitsFake := d.Net.Forward(fake)
-	zeros := tensor.New(logitsFake.Rows, 1)
-	lossFake, _ := nn.BCEWithLogitsLoss(logitsFake, zeros)
+	s := c.ws.evalScratch()
+	logitsReal := d.Net.ForwardWS(c.ws.evalDisc(), real)
+	ones := s.full(logitsReal.Rows, 1, 1)
+	lossReal, _ := nn.BCEWithLogitsLossInto(s.gradDst(), logitsReal, ones)
+	logitsFake := d.Net.ForwardWS(c.ws.evalDisc(), fake)
+	zeros := s.full(logitsFake.Rows, 1, 0)
+	lossFake, _ := nn.BCEWithLogitsLossInto(s.gradDst(), logitsFake, zeros)
 	return (lossReal + lossFake) / 2
 }
 
 // genFitnessOn returns the generator's non-saturating loss against a
-// discriminator (lower = fitter: fakes fool the discriminator).
+// discriminator (lower = fitter: fakes fool the discriminator). z must not
+// alias the eval workspaces.
 func (c *Cell) genFitnessOn(g *Genome, d *Genome, z *tensor.Mat) float64 {
-	fake := g.Net.Forward(z)
-	logits := d.Net.Forward(fake)
-	ones := tensor.Full(logits.Rows, 1, 1)
-	loss, _ := nn.BCEWithLogitsLoss(logits, ones)
+	s := c.ws.evalScratch()
+	fake := g.Net.ForwardWS(c.ws.evalGen(), z)
+	logits := d.Net.ForwardWS(c.ws.evalDisc(), fake)
+	ones := s.full(logits.Rows, 1, 1)
+	loss, _ := nn.BCEWithLogitsLossInto(s.gradDst(), logits, ones)
 	return loss
 }
 
 // latent draws an n×latentDim standard-normal batch.
 func (c *Cell) latent(n int) *tensor.Mat {
-	z := tensor.New(n, c.Cfg.InputNeurons)
-	tensor.GaussianFill(z, 0, 1, c.rng)
-	return z
+	return c.latentInto(nil, n)
+}
+
+// latentInto draws an n×latentDim standard-normal batch into dst (nil dst
+// allocates). The RNG draws are identical either way.
+func (c *Cell) latentInto(dst *tensor.Mat, n int) *tensor.Mat {
+	if dst == nil {
+		dst = tensor.New(n, c.Cfg.InputNeurons)
+	} else {
+		dst.Resize(n, c.Cfg.InputNeurons)
+	}
+	tensor.GaussianFill(dst, 0, 1, c.rng)
+	return dst
 }
 
 // trainStep performs one adversarial mini-batch update of both centers
 // against tournament-selected opponents and returns (genLoss, discLoss).
+//
+// Buffer discipline: selection forwards run on the eval workspaces, the
+// update passes on the train workspaces, and each matrix produced on a
+// workspace is consumed before that workspace's next pass — e.g. fakeSel
+// (eval-gen) survives the tournament because candidate discriminators
+// forward on eval-disc, and fake2 (train-gen) survives the
+// discriminator's real-half update because that runs on train-disc.
 func (c *Cell) trainStep(real *tensor.Mat) (float64, float64) {
 	b := real.Rows
+	ws := c.ws
 
 	// --- Generator update against a selected discriminator ---
 	// The toughest opponent has the LOWEST discriminator loss; train the
 	// generator against the fittest discriminator in the sub-population.
-	fakeSel := c.gen.Net.Forward(c.latent(evalBatchSize))
+	fakeSel := c.gen.Net.ForwardWS(ws.evalGen(), c.latentInto(ws.zEvalBuf(), evalBatchSize))
 	dOpp := c.tournamentSelect(c.discNbrs, func(g *Genome) float64 {
 		return c.discFitnessOn(g, c.evalReal, fakeSel)
 	})
-	z := c.latent(b)
+	z := c.latentInto(ws.zTrainBuf(), b)
 	c.gen.Net.ZeroGrads()
 	dOpp.Net.ZeroGrads()
-	fake := c.gen.Net.Forward(z)
-	logits := dOpp.Net.Forward(fake)
-	genLoss, dLogits := generatorLoss(c.gen.Loss, logits)
-	dFake := dOpp.Net.Backward(dLogits)
+	fake := c.gen.Net.ForwardWS(ws.gen(), z)
+	logits := dOpp.Net.ForwardWS(ws.disc(), fake)
+	genLoss, dLogits := generatorLossWS(c.gen.Loss, logits, ws.trainScratch())
+	dFake := dOpp.Net.BackwardWS(ws.disc(), dLogits)
 	dOpp.Net.ZeroGrads() // opponent is only a critic here
-	c.gen.Net.Backward(dFake)
+	c.gen.Net.BackwardWS(ws.gen(), dFake)
 	if c.Cfg.GradClip > 0 {
 		nn.ClipGrads(c.gen.Net, c.Cfg.GradClip)
 	}
@@ -371,20 +494,20 @@ func (c *Cell) trainStep(real *tensor.Mat) (float64, float64) {
 	// --- Discriminator update against a selected generator ---
 	var discLoss float64
 	if c.step%c.Cfg.SkipNDiscSteps == 0 {
-		zSel2 := c.latent(evalBatchSize)
+		zSel2 := c.latentInto(ws.zEvalBuf(), evalBatchSize)
 		gOpp := c.tournamentSelect(c.genNbrs, func(g *Genome) float64 {
 			return c.genFitnessOn(g, c.disc, zSel2)
 		})
-		z2 := c.latent(b)
-		fake2 := gOpp.Net.Forward(z2)
+		z2 := c.latentInto(ws.zTrainBuf(), b)
+		fake2 := gOpp.Net.ForwardWS(ws.gen(), z2)
 
 		c.disc.Net.ZeroGrads()
-		logitsReal := c.disc.Net.Forward(real)
-		lossReal, gradReal := discHalfLoss(c.disc.Loss, logitsReal, 1)
-		c.disc.Net.Backward(gradReal)
-		logitsFake := c.disc.Net.Forward(fake2)
-		lossFake, gradFake := discHalfLoss(c.disc.Loss, logitsFake, 0)
-		c.disc.Net.Backward(gradFake)
+		logitsReal := c.disc.Net.ForwardWS(ws.disc(), real)
+		lossReal, gradReal := discHalfLossWS(c.disc.Loss, logitsReal, 1, ws.trainScratch())
+		c.disc.Net.BackwardWS(ws.disc(), gradReal)
+		logitsFake := c.disc.Net.ForwardWS(ws.disc(), fake2)
+		lossFake, gradFake := discHalfLossWS(c.disc.Loss, logitsFake, 0, ws.trainScratch())
+		c.disc.Net.BackwardWS(ws.disc(), gradFake)
 		if c.Cfg.GradClip > 0 {
 			nn.ClipGrads(c.disc.Net, c.Cfg.GradClip)
 		}
@@ -406,7 +529,7 @@ func (c *Cell) updateGenomes() (stats IterStats) {
 
 	// Evaluate every generator in the sub-population against the center
 	// discriminator on a common latent batch.
-	z := c.latent(evalBatchSize)
+	z := c.latentInto(c.ws.zEvalBuf(), evalBatchSize)
 	bestGenRank := c.Rank
 	bestGenFit := c.genFitnessOn(c.gen, c.disc, z)
 	for _, r := range sortedRanks(c.genNbrs) {
@@ -430,8 +553,8 @@ func (c *Cell) updateGenomes() (stats IterStats) {
 	c.gen.Fitness = bestGenFit
 
 	// Same for discriminators, judged against the (possibly new) center
-	// generator.
-	fakeEval := c.gen.Net.Forward(c.latent(evalBatchSize))
+	// generator. The latent buffer z is dead by now and safe to reuse.
+	fakeEval := c.gen.Net.ForwardWS(c.ws.evalGen(), c.latentInto(c.ws.zEvalBuf(), evalBatchSize))
 	bestDiscRank := c.Rank
 	bestDiscFit := c.discFitnessOn(c.disc, c.evalReal, fakeEval)
 	for _, r := range sortedRanks(c.discNbrs) {
@@ -455,8 +578,8 @@ func (c *Cell) updateGenomes() (stats IterStats) {
 	c.disc.Fitness = bestDiscFit
 
 	// (1+1)-ES on the mixture weights.
-	fit, _ := c.mixture.EvolveWeights(c.disc.Net, c.Cfg.MixtureMutationScale,
-		evalBatchSize, c.Cfg.InputNeurons, c.rng)
+	fit, _ := c.mixture.EvolveWeightsWS(c.ws.sample(), c.disc.Net,
+		c.Cfg.MixtureMutationScale, evalBatchSize, c.Cfg.InputNeurons, c.rng)
 	stats.MixtureFitness = fit
 	stats.GenFitness = c.gen.Fitness
 	stats.DiscFitness = c.disc.Fitness

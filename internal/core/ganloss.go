@@ -93,15 +93,56 @@ func ParseLossSet(s string) ([]GANLoss, error) {
 	return out, nil
 }
 
+// lossScratch owns the gradient and constant-target buffers reused across
+// loss evaluations. A nil *lossScratch is valid everywhere and falls back
+// to fresh allocations, so callers can thread an optional scratch through
+// unconditionally. The gradient returned by a *WS loss function aliases
+// s.grad and is only valid until the next loss call on the same scratch —
+// callers must backpropagate it before reusing s.
+type lossScratch struct {
+	grad   *tensor.Mat
+	target *tensor.Mat
+}
+
+// gradDst returns the gradient destination buffer (fresh when s is nil).
+func (s *lossScratch) gradDst() *tensor.Mat {
+	if s == nil {
+		return new(tensor.Mat)
+	}
+	if s.grad == nil {
+		s.grad = new(tensor.Mat)
+	}
+	return s.grad
+}
+
+// full returns a rows×cols matrix filled with v, reusing s's target buffer.
+func (s *lossScratch) full(rows, cols int, v float64) *tensor.Mat {
+	if s == nil {
+		return tensor.Full(rows, cols, v)
+	}
+	if s.target == nil {
+		s.target = new(tensor.Mat)
+	}
+	s.target.Resize(rows, cols)
+	s.target.Fill(v)
+	return s.target
+}
+
 // generatorLoss computes the generator objective and ∂L/∂logits for the
 // discriminator logits of generated samples.
 func generatorLoss(kind GANLoss, logits *tensor.Mat) (float64, *tensor.Mat) {
+	return generatorLossWS(kind, logits, nil)
+}
+
+// generatorLossWS is generatorLoss writing its gradient (and any constant
+// target) into s-owned buffers. Bit-identical to generatorLoss.
+func generatorLossWS(kind GANLoss, logits *tensor.Mat, s *lossScratch) (float64, *tensor.Mat) {
 	n := float64(len(logits.Data))
 	switch kind {
 	case LossMinimax:
 		// L = mean(log(1 − σ(z))) = mean(−z − log(1+e^(−z)))… computed
 		// stably via log-sigmoid: log(1−σ(z)) = −z + logσ(z).
-		grad := tensor.New(logits.Rows, logits.Cols)
+		grad := s.gradDst().Resize(logits.Rows, logits.Cols)
 		loss := 0.0
 		for i, z := range logits.Data {
 			// log σ(z) = −log(1+e^(−z)) computed stably.
@@ -115,15 +156,16 @@ func generatorLoss(kind GANLoss, logits *tensor.Mat) (float64, *tensor.Mat) {
 		}
 		return loss / n, grad
 	case LossLSGAN:
-		ones := tensor.Full(logits.Rows, logits.Cols, 1)
-		return nn.MSELoss(logits, ones)
+		ones := s.full(logits.Rows, logits.Cols, 1)
+		return nn.MSELossInto(s.gradDst(), logits, ones)
 	case LossWGAN:
 		// L = −mean(z): the generator pushes the critic score up.
-		grad := tensor.Full(logits.Rows, logits.Cols, -1/n)
+		grad := s.gradDst().Resize(logits.Rows, logits.Cols)
+		grad.Fill(-1 / n)
 		return -logits.Mean(), grad
 	default: // LossBCE (non-saturating)
-		ones := tensor.Full(logits.Rows, logits.Cols, 1)
-		return nn.BCEWithLogitsLoss(logits, ones)
+		ones := s.full(logits.Rows, logits.Cols, 1)
+		return nn.BCEWithLogitsLossInto(s.gradDst(), logits, ones)
 	}
 }
 
@@ -131,10 +173,16 @@ func generatorLoss(kind GANLoss, logits *tensor.Mat) (float64, *tensor.Mat) {
 // fake logits against a constant target) and its gradient. It is split in
 // halves because backpropagation must run per forward pass.
 func discHalfLoss(kind GANLoss, logits *tensor.Mat, target float64) (float64, *tensor.Mat) {
+	return discHalfLossWS(kind, logits, target, nil)
+}
+
+// discHalfLossWS is discHalfLoss writing its gradient (and constant
+// target) into s-owned buffers. Bit-identical to discHalfLoss.
+func discHalfLossWS(kind GANLoss, logits *tensor.Mat, target float64, s *lossScratch) (float64, *tensor.Mat) {
 	switch kind {
 	case LossLSGAN:
-		t := tensor.Full(logits.Rows, logits.Cols, target)
-		return nn.MSELoss(logits, t)
+		t := s.full(logits.Rows, logits.Cols, target)
+		return nn.MSELossInto(s.gradDst(), logits, t)
 	case LossWGAN:
 		// Critic loss: −mean(real) + mean(fake); target 1 marks the real
 		// half, 0 the fake half.
@@ -143,12 +191,13 @@ func discHalfLoss(kind GANLoss, logits *tensor.Mat, target float64) (float64, *t
 		if target >= 0.5 {
 			sign = -1
 		}
-		grad := tensor.Full(logits.Rows, logits.Cols, sign/n)
+		grad := s.gradDst().Resize(logits.Rows, logits.Cols)
+		grad.Fill(sign / n)
 		return sign * logits.Mean(), grad
 	default:
 		// LossBCE and LossMinimax share the discriminator objective.
-		t := tensor.Full(logits.Rows, logits.Cols, target)
-		return nn.BCEWithLogitsLoss(logits, t)
+		t := s.full(logits.Rows, logits.Cols, target)
+		return nn.BCEWithLogitsLossInto(s.gradDst(), logits, t)
 	}
 }
 

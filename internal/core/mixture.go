@@ -64,15 +64,82 @@ func normalizeWeights(w []float64) {
 	}
 }
 
+// SampleWorkspace owns every buffer the mixture sampling, fitness and
+// weight-evolution paths need: the latent and output matrices, the
+// per-sample routing slices, the nn workspaces for generator and
+// discriminator forwards, and the loss scratch. One workspace serves one
+// goroutine; inference workers pair a private workspace with their private
+// mixture clone.
+type SampleWorkspace struct {
+	gen  *nn.Workspace // generator forward buffers
+	disc *nn.Workspace // discriminator forward buffers (fitness)
+	z    *tensor.Mat   // per-component latent batch
+	out  *tensor.Mat   // assembled sample batch
+
+	loss *lossScratch // fitness target + discarded gradient
+
+	assign, counts, starts, idx, order []int
+	proposal                           []float64
+}
+
+// NewSampleWorkspace returns an empty workspace; buffers grow on first use.
+func NewSampleWorkspace() *SampleWorkspace {
+	return &SampleWorkspace{
+		gen:  nn.NewWorkspace(),
+		disc: nn.NewWorkspace(),
+		z:    new(tensor.Mat),
+		out:  new(tensor.Mat),
+		loss: &lossScratch{},
+	}
+}
+
+// intsFor resizes *buf to n elements, reallocating only on capacity
+// growth, and returns it. Element values are unspecified.
+func intsFor(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// floatsFor is intsFor for float64 slices.
+func floatsFor(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
 // Sample draws n latent vectors and routes each through a generator chosen
 // according to the mixture weights, returning the n×Pixels batch.
 func (m *Mixture) Sample(n, latentDim int, rng *tensor.RNG) *tensor.Mat {
+	return m.SampleWith(nil, n, latentDim, rng)
+}
+
+// SampleWith is Sample drawing every buffer from ws. A nil ws allocates
+// fresh buffers, reproducing Sample. The returned matrix aliases ws.out
+// and is only valid until the next SampleWith call on the same workspace.
+// The RNG consumption (n Float64 draws, then one GaussianFill per
+// populated component in rank order) is identical to Sample's, so the two
+// paths produce bit-identical batches from equal RNG states.
+func (m *Mixture) SampleWith(ws *SampleWorkspace, n, latentDim int, rng *tensor.RNG) *tensor.Mat {
+	if ws == nil {
+		// Throwaway workspace: nil nn workspaces keep the network forwards
+		// on their allocating paths.
+		ws = &SampleWorkspace{z: new(tensor.Mat), out: new(tensor.Mat)}
+	}
+	out := ws.out.Resize(n, m.outputDim())
 	if n <= 0 {
-		return tensor.New(0, m.outputDim())
+		return out
 	}
 	// Assign each sample to a component.
-	assign := make([]int, n)
-	counts := make([]int, len(m.Generators))
+	assign := intsFor(&ws.assign, n)
+	counts := intsFor(&ws.counts, len(m.Generators))
+	for j := range counts {
+		counts[j] = 0
+	}
 	for i := range assign {
 		u := rng.Float64()
 		acc := 0.0
@@ -87,16 +154,16 @@ func (m *Mixture) Sample(n, latentDim int, rng *tensor.RNG) *tensor.Mat {
 		assign[i] = comp
 		counts[comp]++
 	}
-	out := tensor.New(n, m.outputDim())
 	// Generate per component in one batch each.
 	offset := 0
-	starts := make([]int, len(m.Generators))
+	starts := intsFor(&ws.starts, len(m.Generators))
 	for j := range starts {
 		starts[j] = offset
 		offset += counts[j]
 	}
-	order := make([]int, n) // output row for each grouped sample
-	idx := append([]int(nil), starts...)
+	order := intsFor(&ws.order, n) // output row for each grouped sample
+	idx := intsFor(&ws.idx, len(m.Generators))
+	copy(idx, starts)
 	for i, comp := range assign {
 		order[idx[comp]] = i
 		idx[comp]++
@@ -105,9 +172,9 @@ func (m *Mixture) Sample(n, latentDim int, rng *tensor.RNG) *tensor.Mat {
 		if counts[j] == 0 {
 			continue
 		}
-		z := tensor.New(counts[j], latentDim)
+		z := ws.z.Resize(counts[j], latentDim)
 		tensor.GaussianFill(z, 0, 1, rng)
-		imgs := g.Forward(z)
+		imgs := g.ForwardWS(ws.gen, z)
 		for k := 0; k < counts[j]; k++ {
 			copy(out.Row(order[starts[j]+k]), imgs.Row(k))
 		}
@@ -139,10 +206,21 @@ func (m *Mixture) Clone() *Mixture {
 // Fitness scores the mixture against a discriminator: the non-saturating
 // generator loss of mixture samples (lower is better).
 func (m *Mixture) Fitness(disc *nn.Network, n, latentDim int, rng *tensor.RNG) float64 {
-	fake := m.Sample(n, latentDim, rng)
-	logits := disc.Forward(fake)
-	ones := tensor.Full(logits.Rows, logits.Cols, 1)
-	loss, _ := nn.BCEWithLogitsLoss(logits, ones)
+	return m.FitnessWS(nil, disc, n, latentDim, rng)
+}
+
+// FitnessWS is Fitness drawing every buffer from ws (nil ws allocates).
+func (m *Mixture) FitnessWS(ws *SampleWorkspace, disc *nn.Network, n, latentDim int, rng *tensor.RNG) float64 {
+	fake := m.SampleWith(ws, n, latentDim, rng)
+	var discWS *nn.Workspace
+	var scratch *lossScratch
+	if ws != nil {
+		discWS = ws.disc
+		scratch = ws.loss
+	}
+	logits := disc.ForwardWS(discWS, fake)
+	ones := scratch.full(logits.Rows, logits.Cols, 1)
+	loss, _ := nn.BCEWithLogitsLossInto(scratch.gradDst(), logits, ones)
 	return loss
 }
 
@@ -150,18 +228,37 @@ func (m *Mixture) Fitness(disc *nn.Network, n, latentDim int, rng *tensor.RNG) f
 // accept if the proposal's fitness does not worsen. Returns the accepted
 // fitness and whether the proposal was accepted.
 func (m *Mixture) EvolveWeights(disc *nn.Network, sigma float64, n, latentDim int, rng *tensor.RNG) (float64, bool) {
+	return m.EvolveWeightsWS(nil, disc, sigma, n, latentDim, rng)
+}
+
+// EvolveWeightsWS is EvolveWeights drawing every buffer from ws (nil ws
+// allocates). On acceptance the previous Weights slice is recycled as the
+// workspace's next proposal buffer, so callers must not retain references
+// to Mixture.Weights across calls when a workspace is in use.
+func (m *Mixture) EvolveWeightsWS(ws *SampleWorkspace, disc *nn.Network, sigma float64, n, latentDim int, rng *tensor.RNG) (float64, bool) {
 	// Evaluate parent and child on a common RNG-derived sample stream to
 	// reduce selection noise: each evaluation uses its own split.
-	parentFit := m.Fitness(disc, n, latentDim, rng.Split())
-	proposal := append([]float64(nil), m.Weights...)
+	parentFit := m.FitnessWS(ws, disc, n, latentDim, rng.Split())
+	var proposal []float64
+	if ws != nil {
+		proposal = floatsFor(&ws.proposal, len(m.Weights))
+		copy(proposal, m.Weights)
+	} else {
+		proposal = append([]float64(nil), m.Weights...)
+	}
 	for i := range proposal {
 		proposal[i] += rng.NormFloat64() * sigma
 	}
 	normalizeWeights(proposal)
 	old := m.Weights
 	m.Weights = proposal
-	childFit := m.Fitness(disc, n, latentDim, rng.Split())
+	childFit := m.FitnessWS(ws, disc, n, latentDim, rng.Split())
 	if childFit <= parentFit {
+		if ws != nil {
+			// The displaced parent slice becomes the next proposal buffer;
+			// ws.proposal must never alias the live m.Weights.
+			ws.proposal = old
+		}
 		return childFit, true
 	}
 	m.Weights = old

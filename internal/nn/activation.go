@@ -24,20 +24,30 @@ func NewTanh() *Tanh { return &Tanh{} }
 
 // Forward applies tanh element-wise.
 func (t *Tanh) Forward(x *tensor.Mat) *tensor.Mat {
-	t.out = x.Map(math.Tanh)
+	return t.ForwardInto(new(tensor.Mat), x)
+}
+
+// ForwardInto applies tanh element-wise into dst.
+func (t *Tanh) ForwardInto(dst, x *tensor.Mat) *tensor.Mat {
+	t.out = tensor.ApplyInto(dst, x, math.Tanh)
 	return t.out
 }
 
 // Backward returns grad ⊙ (1 - tanh²).
 func (t *Tanh) Backward(grad *tensor.Mat) *tensor.Mat {
+	return t.BackwardInto(new(tensor.Mat), grad)
+}
+
+// BackwardInto writes grad ⊙ (1 - tanh²) into dst.
+func (t *Tanh) BackwardInto(dst, grad *tensor.Mat) *tensor.Mat {
 	if t.out == nil {
 		panic("nn: Tanh.Backward before Forward")
 	}
-	g := grad.Clone()
+	dst.Resize(grad.Rows, grad.Cols)
 	for i, y := range t.out.Data {
-		g.Data[i] *= 1 - y*y
+		dst.Data[i] = grad.Data[i] * (1 - y*y)
 	}
-	return g
+	return dst
 }
 
 // Clone returns a fresh Tanh layer.
@@ -63,20 +73,30 @@ func sigmoid(x float64) float64 {
 
 // Forward applies the logistic function element-wise.
 func (s *Sigmoid) Forward(x *tensor.Mat) *tensor.Mat {
-	s.out = x.Map(sigmoid)
+	return s.ForwardInto(new(tensor.Mat), x)
+}
+
+// ForwardInto applies the logistic function element-wise into dst.
+func (s *Sigmoid) ForwardInto(dst, x *tensor.Mat) *tensor.Mat {
+	s.out = tensor.ApplyInto(dst, x, sigmoid)
 	return s.out
 }
 
 // Backward returns grad ⊙ σ(1-σ).
 func (s *Sigmoid) Backward(grad *tensor.Mat) *tensor.Mat {
+	return s.BackwardInto(new(tensor.Mat), grad)
+}
+
+// BackwardInto writes grad ⊙ σ(1-σ) into dst.
+func (s *Sigmoid) BackwardInto(dst, grad *tensor.Mat) *tensor.Mat {
 	if s.out == nil {
 		panic("nn: Sigmoid.Backward before Forward")
 	}
-	g := grad.Clone()
+	dst.Resize(grad.Rows, grad.Cols)
 	for i, y := range s.out.Data {
-		g.Data[i] *= y * (1 - y)
+		dst.Data[i] = grad.Data[i] * (y * (1 - y))
 	}
-	return g
+	return dst
 }
 
 // Clone returns a fresh Sigmoid layer.
@@ -94,8 +114,13 @@ func NewLeakyReLU(alpha float64) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
 
 // Forward applies the leaky rectifier element-wise.
 func (l *LeakyReLU) Forward(x *tensor.Mat) *tensor.Mat {
+	return l.ForwardInto(new(tensor.Mat), x)
+}
+
+// ForwardInto applies the leaky rectifier element-wise into dst.
+func (l *LeakyReLU) ForwardInto(dst, x *tensor.Mat) *tensor.Mat {
 	l.x = x
-	return x.Map(func(v float64) float64 {
+	return tensor.ApplyInto(dst, x, func(v float64) float64 {
 		if v >= 0 {
 			return v
 		}
@@ -106,16 +131,23 @@ func (l *LeakyReLU) Forward(x *tensor.Mat) *tensor.Mat {
 // Backward scales grad by 1 where the input was non-negative, alpha
 // elsewhere.
 func (l *LeakyReLU) Backward(grad *tensor.Mat) *tensor.Mat {
+	return l.BackwardInto(new(tensor.Mat), grad)
+}
+
+// BackwardInto writes the masked gradient into dst.
+func (l *LeakyReLU) BackwardInto(dst, grad *tensor.Mat) *tensor.Mat {
 	if l.x == nil {
 		panic("nn: LeakyReLU.Backward before Forward")
 	}
-	g := grad.Clone()
+	dst.Resize(grad.Rows, grad.Cols)
 	for i, v := range l.x.Data {
+		g := grad.Data[i]
 		if v < 0 {
-			g.Data[i] *= l.Alpha
+			g *= l.Alpha
 		}
+		dst.Data[i] = g
 	}
-	return g
+	return dst
 }
 
 // Clone returns a fresh LeakyReLU with the same slope.
@@ -132,8 +164,13 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward applies max(0, x) element-wise.
 func (r *ReLU) Forward(x *tensor.Mat) *tensor.Mat {
+	return r.ForwardInto(new(tensor.Mat), x)
+}
+
+// ForwardInto applies max(0, x) element-wise into dst.
+func (r *ReLU) ForwardInto(dst, x *tensor.Mat) *tensor.Mat {
 	r.x = x
-	return x.Map(func(v float64) float64 {
+	return tensor.ApplyInto(dst, x, func(v float64) float64 {
 		if v > 0 {
 			return v
 		}
@@ -143,16 +180,23 @@ func (r *ReLU) Forward(x *tensor.Mat) *tensor.Mat {
 
 // Backward masks grad where the input was negative.
 func (r *ReLU) Backward(grad *tensor.Mat) *tensor.Mat {
+	return r.BackwardInto(new(tensor.Mat), grad)
+}
+
+// BackwardInto writes the masked gradient into dst.
+func (r *ReLU) BackwardInto(dst, grad *tensor.Mat) *tensor.Mat {
 	if r.x == nil {
 		panic("nn: ReLU.Backward before Forward")
 	}
-	g := grad.Clone()
+	dst.Resize(grad.Rows, grad.Cols)
 	for i, v := range r.x.Data {
 		if v <= 0 {
-			g.Data[i] = 0
+			dst.Data[i] = 0
+		} else {
+			dst.Data[i] = grad.Data[i]
 		}
 	}
-	return g
+	return dst
 }
 
 // Clone returns a fresh ReLU.

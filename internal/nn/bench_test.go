@@ -37,6 +37,36 @@ func BenchmarkGeneratorForwardBackward(b *testing.B) {
 	}
 }
 
+func BenchmarkGeneratorForwardWS(b *testing.B) {
+	net, z := paperGenerator(b)
+	ws := NewWorkspace()
+	net.ForwardWS(ws, z) // warm buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = net.ForwardWS(ws, z)
+	}
+}
+
+func BenchmarkGeneratorForwardBackwardWS(b *testing.B) {
+	net, z := paperGenerator(b)
+	y := tensor.New(100, 784)
+	ws := NewWorkspace()
+	grad := new(tensor.Mat)
+	iter := func() {
+		net.ZeroGrads()
+		out := net.ForwardWS(ws, z)
+		_, _ = MSELossInto(grad, out, y)
+		net.BackwardWS(ws, grad)
+	}
+	iter() // warm buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iter()
+	}
+}
+
 func BenchmarkAdamStepPaperGenerator(b *testing.B) {
 	net, z := paperGenerator(b)
 	opt := NewAdam(2e-4)

@@ -42,6 +42,21 @@ type Sized interface {
 	OutputWidth() int
 }
 
+// IntoLayer is implemented by layers with destination-passing Forward and
+// Backward variants that write into caller-owned buffers instead of
+// allocating. Network.ForwardWS/BackwardWS route through these when a
+// Workspace is supplied; layers without them fall back to the allocating
+// protocol. Both variants are bit-identical to their allocating forms.
+type IntoLayer interface {
+	Layer
+	// ForwardInto is Forward writing the layer output into dst (resized
+	// as needed); it returns dst. dst must not alias x.
+	ForwardInto(dst, x *tensor.Mat) *tensor.Mat
+	// BackwardInto is Backward writing ∂L/∂input into dst (resized as
+	// needed); it returns dst. dst must not alias grad.
+	BackwardInto(dst, grad *tensor.Mat) *tensor.Mat
+}
+
 // Linear is a fully-connected layer computing y = x·W + b.
 type Linear struct {
 	W *tensor.Mat // in×out
@@ -77,21 +92,35 @@ func (l *Linear) OutputWidth() int { return l.W.Cols }
 
 // Forward computes x·W + b for a batch x (rows = samples).
 func (l *Linear) Forward(x *tensor.Mat) *tensor.Mat {
-	l.x = x
-	y := tensor.MatMul(x, l.W)
-	y.AddRowVec(l.B)
-	return y
+	return l.ForwardInto(new(tensor.Mat), x)
 }
 
-// Backward accumulates dW = xᵀ·grad and dB = colsums(grad) and returns
+// ForwardInto computes x·W + b into dst, reusing dst's storage: one fused
+// MatMulInto plus the in-place broadcast bias add, no temporaries.
+func (l *Linear) ForwardInto(dst, x *tensor.Mat) *tensor.Mat {
+	l.x = x
+	tensor.MatMulInto(dst, x, l.W)
+	dst.AddRowVec(l.B)
+	return dst
+}
+
+// Backward accumulates dW += xᵀ·grad and dB += colsums(grad) and returns
 // grad·Wᵀ.
 func (l *Linear) Backward(grad *tensor.Mat) *tensor.Mat {
+	return l.BackwardInto(new(tensor.Mat), grad)
+}
+
+// BackwardInto is Backward with the returned ∂L/∂input written into dst.
+// The parameter-gradient accumulations are fused into the kernels
+// (AddMatMulT1Into/AddColSumsInto), so the whole backward pass of the
+// layer performs zero allocations once dst has capacity.
+func (l *Linear) BackwardInto(dst, grad *tensor.Mat) *tensor.Mat {
 	if l.x == nil {
 		panic("nn: Linear.Backward before Forward")
 	}
-	l.dW.Add(tensor.MatMulT1(l.x, grad))
-	l.dB.Add(tensor.ColSums(grad))
-	return tensor.MatMulT2(grad, l.W)
+	tensor.AddMatMulT1Into(l.dW, l.x, grad)
+	tensor.AddColSumsInto(l.dB, grad)
+	return tensor.MatMulT2Into(dst, grad, l.W)
 }
 
 // Params returns {W, B}.

@@ -14,11 +14,16 @@ const bceEps = 1e-12
 // returns the loss together with ∂L/∂p. This matches the minmax GAN
 // objective of the paper with φ = log.
 func BCELoss(p, y *tensor.Mat) (float64, *tensor.Mat) {
+	return BCELossInto(new(tensor.Mat), p, y)
+}
+
+// BCELossInto is BCELoss with ∂L/∂p written into grad (resized as needed).
+func BCELossInto(grad, p, y *tensor.Mat) (float64, *tensor.Mat) {
 	if p.Rows != y.Rows || p.Cols != y.Cols {
 		panic("nn: BCELoss shape mismatch")
 	}
 	n := float64(len(p.Data))
-	grad := tensor.New(p.Rows, p.Cols)
+	grad.Resize(p.Rows, p.Cols)
 	loss := 0.0
 	for i, pi := range p.Data {
 		pc := math.Min(math.Max(pi, bceEps), 1-bceEps)
@@ -33,11 +38,17 @@ func BCELoss(p, y *tensor.Mat) (float64, *tensor.Mat) {
 // logits z, which is numerically stable for saturated discriminators:
 // L = mean(max(z,0) - z·y + log(1+exp(-|z|))), ∂L/∂z = (σ(z) - y)/n.
 func BCEWithLogitsLoss(z, y *tensor.Mat) (float64, *tensor.Mat) {
+	return BCEWithLogitsLossInto(new(tensor.Mat), z, y)
+}
+
+// BCEWithLogitsLossInto is BCEWithLogitsLoss with ∂L/∂z written into grad
+// (resized as needed).
+func BCEWithLogitsLossInto(grad, z, y *tensor.Mat) (float64, *tensor.Mat) {
 	if z.Rows != y.Rows || z.Cols != y.Cols {
 		panic("nn: BCEWithLogitsLoss shape mismatch")
 	}
 	n := float64(len(z.Data))
-	grad := tensor.New(z.Rows, z.Cols)
+	grad.Resize(z.Rows, z.Cols)
 	loss := 0.0
 	for i, zi := range z.Data {
 		yi := y.Data[i]
@@ -49,11 +60,17 @@ func BCEWithLogitsLoss(z, y *tensor.Mat) (float64, *tensor.Mat) {
 
 // MSELoss computes the mean squared error and its gradient.
 func MSELoss(p, y *tensor.Mat) (float64, *tensor.Mat) {
+	return MSELossInto(new(tensor.Mat), p, y)
+}
+
+// MSELossInto is MSELoss with the gradient written into grad (resized as
+// needed).
+func MSELossInto(grad, p, y *tensor.Mat) (float64, *tensor.Mat) {
 	if p.Rows != y.Rows || p.Cols != y.Cols {
 		panic("nn: MSELoss shape mismatch")
 	}
 	n := float64(len(p.Data))
-	grad := tensor.New(p.Rows, p.Cols)
+	grad.Resize(p.Rows, p.Cols)
 	loss := 0.0
 	for i, pi := range p.Data {
 		d := pi - y.Data[i]

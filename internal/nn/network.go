@@ -7,9 +7,15 @@ import (
 	"cellgan/internal/tensor"
 )
 
-// Network is an ordered sequence of layers trained end-to-end.
+// Network is an ordered sequence of layers trained end-to-end. The layer
+// sequence must not be mutated after the first Params/Grads call: those
+// accessors cache their slices, which optimizers rely on being
+// allocation-free in the steady state.
 type Network struct {
 	Layers []Layer
+
+	params []*tensor.Mat
+	grads  []*tensor.Mat
 }
 
 // NewNetwork returns a network over the given layers.
@@ -32,22 +38,27 @@ func (n *Network) Backward(grad *tensor.Mat) *tensor.Mat {
 	return grad
 }
 
-// Params returns all trainable parameters, layer by layer.
+// Params returns all trainable parameters, layer by layer. The slice is
+// computed once and cached (layers hand out stable *Mat pointers), so
+// per-step optimizer calls do not allocate.
 func (n *Network) Params() []*tensor.Mat {
-	var ps []*tensor.Mat
-	for _, l := range n.Layers {
-		ps = append(ps, l.Params()...)
+	if n.params == nil {
+		for _, l := range n.Layers {
+			n.params = append(n.params, l.Params()...)
+		}
 	}
-	return ps
+	return n.params
 }
 
-// Grads returns all gradient accumulators, aligned with Params.
+// Grads returns all gradient accumulators, aligned with Params. Cached
+// like Params.
 func (n *Network) Grads() []*tensor.Mat {
-	var gs []*tensor.Mat
-	for _, l := range n.Layers {
-		gs = append(gs, l.Grads()...)
+	if n.grads == nil {
+		for _, l := range n.Layers {
+			n.grads = append(n.grads, l.Grads()...)
+		}
 	}
-	return gs
+	return n.grads
 }
 
 // ZeroGrads clears every gradient accumulator.

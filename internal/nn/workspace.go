@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"cellgan/internal/tensor"
+)
+
+// Workspace owns the per-layer activation and gradient buffers for one
+// network's forward/backward pass. Reusing a Workspace across iterations
+// eliminates the per-step allocations of the plain Forward/Backward
+// protocol: buffers are lazily created on first use and resized (which
+// only reallocates when a batch-shape change outgrows capacity) on every
+// subsequent pass.
+//
+// A Workspace is owned by exactly one goroutine and must not be shared
+// between concurrently running networks. It may be shared across networks
+// sequentially (e.g. one workspace per cell, reused by the generator and
+// discriminator in turn) as long as each forward→backward pair completes
+// before the workspace is handed to the next network: layer caches and the
+// matrices returned by ForwardWS/BackwardWS alias workspace storage.
+type Workspace struct {
+	acts  []*tensor.Mat // acts[i] holds the output of layer i
+	grads []*tensor.Mat // grads[i] holds ∂L/∂input of layer i
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// grow extends bufs with empty matrices until it holds at least n slots.
+func grow(bufs []*tensor.Mat, n int) []*tensor.Mat {
+	for len(bufs) < n {
+		bufs = append(bufs, new(tensor.Mat))
+	}
+	return bufs
+}
+
+// ForwardWS propagates a batch through every layer, writing each layer's
+// output into ws-owned buffers. A nil ws falls back to the allocating
+// Forward path, so callers can thread an optional workspace through
+// unconditionally. Layers that do not implement IntoLayer allocate as
+// usual. The returned matrix aliases workspace storage and is only valid
+// until the next pass through ws. Results are bit-identical to Forward.
+func (n *Network) ForwardWS(ws *Workspace, x *tensor.Mat) *tensor.Mat {
+	if ws == nil {
+		return n.Forward(x)
+	}
+	ws.acts = grow(ws.acts, len(n.Layers))
+	for i, l := range n.Layers {
+		if il, ok := l.(IntoLayer); ok {
+			x = il.ForwardInto(ws.acts[i], x)
+		} else {
+			x = l.Forward(x)
+		}
+	}
+	return x
+}
+
+// BackwardWS propagates ∂L/∂output back through every layer, accumulating
+// parameter gradients into the layers and intermediate input-gradients
+// into ws-owned buffers. A nil ws falls back to the allocating Backward
+// path. The returned ∂L/∂input aliases workspace storage. Results are
+// bit-identical to Backward.
+func (n *Network) BackwardWS(ws *Workspace, grad *tensor.Mat) *tensor.Mat {
+	if ws == nil {
+		return n.Backward(grad)
+	}
+	ws.grads = grow(ws.grads, len(n.Layers))
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		if il, ok := n.Layers[i].(IntoLayer); ok {
+			grad = il.BackwardInto(ws.grads[i], grad)
+		} else {
+			grad = n.Layers[i].Backward(grad)
+		}
+	}
+	return grad
+}

@@ -229,6 +229,10 @@ func (e *Engine) generate(ctx context.Context, n int) (*tensor.Mat, error) {
 func (e *Engine) worker(id uint64) {
 	defer e.wg.Done()
 	rng := tensor.NewRNG(e.cfg.Seed + (id+1)*0x9e3779b97f4a7c15)
+	// One sampling workspace per worker, reused across every coalesced
+	// batch this worker ever runs (it is keyed to the goroutine, not the
+	// model, so it survives hot reloads).
+	sws := core.NewSampleWorkspace()
 	var local *core.Mixture
 	var version uint64
 	var name string
@@ -250,7 +254,7 @@ func (e *Engine) worker(id uint64) {
 			local = m.proto.Clone()
 			version, name = m.Version, m.Name
 		}
-		e.runBatch(local, m, batch, rng)
+		e.runBatch(local, m, batch, rng, sws)
 	}
 }
 
@@ -291,8 +295,11 @@ func (e *Engine) gather(first *genRequest) []*genRequest {
 }
 
 // runBatch executes one coalesced forward pass and distributes the rows
-// back to the waiting requests.
-func (e *Engine) runBatch(local *core.Mixture, m *Model, batch []*genRequest, rng *tensor.RNG) {
+// back to the waiting requests. The shared batch is assembled in the
+// worker's reusable sampling workspace; only the per-request result
+// matrices are allocated, because their ownership transfers to the
+// callers.
+func (e *Engine) runBatch(local *core.Mixture, m *Model, batch []*genRequest, rng *tensor.RNG, sws *core.SampleWorkspace) {
 	// Drop requests whose caller already gave up.
 	live := batch[:0]
 	for _, r := range batch {
@@ -309,7 +316,7 @@ func (e *Engine) runBatch(local *core.Mixture, m *Model, batch []*genRequest, rn
 	for _, r := range live {
 		total += r.n
 	}
-	out := local.Sample(total, m.LatentDim, rng)
+	out := local.SampleWith(sws, total, m.LatentDim, rng)
 	e.metrics.ObserveBatch(len(live))
 	offset := 0
 	for _, r := range live {

@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestLoadTestLatencyBudget drives the full HTTP stack (pooled encode
+// buffers, coalescing engine, per-worker sampling workspaces) under
+// concurrent load and asserts the error count and a generous p99 latency
+// tripwire. The bound is deliberately loose — it catches pathological
+// regressions (lock contention on the pools, per-request reallocation
+// storms), not small shifts that machine noise could produce.
+func TestLoadTestLatencyBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test in -short mode")
+	}
+	reg := NewRegistry(EngineConfig{Workers: 2, QueueSize: 1024}, nil)
+	if err := reg.Load("digits", trainedArtifact(t)); err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	ts := httptest.NewServer(NewServer(reg, 30*time.Second))
+	defer ts.Close()
+
+	res, err := LoadTest(ts.URL, LoadTestOptions{Clients: 8, Requests: 200, N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("load test: %d ok, %d shed, p50=%s p99=%s, %.0f samples/s",
+		res.Requests, res.Shed, res.P50, res.P99, res.SamplesPerSec)
+	if res.Errors != 0 {
+		t.Fatalf("%d transport/server errors under load", res.Errors)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no successful requests")
+	}
+	if res.P99 > 2*time.Second {
+		t.Fatalf("p99 latency %s exceeds 2s budget", res.P99)
+	}
+}

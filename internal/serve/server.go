@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/base64"
 	"encoding/binary"
@@ -10,11 +11,42 @@ import (
 	"math"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"cellgan/internal/dataset"
 )
+
+// maxPooledBuf caps how large a recycled buffer may be: a single huge
+// response must not pin a megabyte-scale buffer in the pool forever.
+const maxPooledBuf = 1 << 20
+
+// encodeBufPool recycles the JSON response buffers of the hot /generate
+// path, so steady-state request handling reuses encoder scratch instead
+// of allocating per response.
+var encodeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// rawBufPool recycles the little-endian staging buffer of the base64
+// encoding (pointer-to-slice, the sync.Pool idiom that avoids boxing
+// allocations on Put).
+var rawBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// writeJSONPooled encodes v through a pooled buffer and writes it as the
+// response body.
+func writeJSONPooled(w http.ResponseWriter, v any) {
+	buf := encodeBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding response: %v", err)
+	} else {
+		w.Write(buf.Bytes())
+	}
+	if buf.Cap() <= maxPooledBuf {
+		encodeBufPool.Put(buf)
+	}
+}
 
 // DefaultRequestTimeout bounds one /generate request end to end (queueing
 // plus forward passes).
@@ -162,11 +194,21 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			resp.Samples[i] = out.Row(i)
 		}
 	case "base64":
-		raw := make([]byte, 8*len(out.Data))
+		rawp := rawBufPool.Get().(*[]byte)
+		raw := *rawp
+		if need := 8 * len(out.Data); cap(raw) < need {
+			raw = make([]byte, need)
+		} else {
+			raw = raw[:need]
+		}
 		for i, v := range out.Data {
 			binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
 		}
 		resp.Data = base64.StdEncoding.EncodeToString(raw)
+		*rawp = raw
+		if cap(raw) <= maxPooledBuf {
+			rawBufPool.Put(rawp)
+		}
 	case "pgm":
 		side := int(math.Round(math.Sqrt(float64(out.Cols))))
 		if side*side != out.Cols {
@@ -183,8 +225,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			resp.PGM[i] = b.String()
 		}
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
+	writeJSONPooled(w, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

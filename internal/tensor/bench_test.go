@@ -21,6 +21,21 @@ func BenchmarkMatMul(b *testing.B) {
 	}
 }
 
+func BenchmarkMatMulInto(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		a := benchMat(n, n, 1)
+		c := benchMat(n, n, 2)
+		dst := New(n, n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.SetBytes(int64(8 * n * n * n))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(dst, a, c)
+			}
+		})
+	}
+}
+
 func sizeName(n int) string {
 	switch n {
 	case 16:
@@ -49,6 +64,39 @@ func BenchmarkMatMulT2(b *testing.B) {
 	b.SetBytes(int64(8 * 100 * 784 * 256))
 	for i := 0; i < b.N; i++ {
 		_ = MatMulT2(a, c)
+	}
+}
+
+func BenchmarkMatMulT1Into(b *testing.B) {
+	a := benchMat(100, 256, 1)
+	c := benchMat(100, 784, 2)
+	dst := New(256, 784)
+	b.SetBytes(int64(8 * 100 * 256 * 784))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMulT1Into(dst, a, c)
+	}
+}
+
+func BenchmarkAddMatMulT1Into(b *testing.B) {
+	a := benchMat(100, 256, 1)
+	c := benchMat(100, 784, 2)
+	dst := New(256, 784)
+	b.SetBytes(int64(8 * 100 * 256 * 784))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		AddMatMulT1Into(dst, a, c)
+	}
+}
+
+func BenchmarkMatMulT2Into(b *testing.B) {
+	a := benchMat(100, 784, 1)
+	c := benchMat(256, 784, 2)
+	dst := New(100, 256)
+	b.SetBytes(int64(8 * 100 * 784 * 256))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMulT2Into(dst, a, c)
 	}
 }
 

@@ -166,12 +166,20 @@ func TraceSqrtProduct(a, b *Mat) (float64, error) {
 			d.Set(i, i, math.Sqrt(l))
 		}
 	}
-	sqrtA := MatMul(MatMul(ve, d), ve.T())
+	// (V·d)·Vᵀ via the transposed-operand kernel: no materialised Vᵀ.
+	sqrtA := MatMulT2(MatMul(ve, d), ve)
 	m := MatMul(MatMul(sqrtA, b), sqrtA)
-	// Symmetrise against round-off before the second decomposition.
-	mt := m.T()
-	m.Add(mt)
-	m.Scale(0.5)
+	// Symmetrise against round-off before the second decomposition,
+	// pairwise in place: both elements of each (i,j)/(j,i) pair are set to
+	// their mean, which matches m.Add(m.T()); m.Scale(0.5) bit for bit
+	// (IEEE addition is commutative) without the transpose temporary.
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := (m.At(i, j) + m.At(j, i)) * 0.5
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
 	vm, _, err := SymEigen(m)
 	if err != nil {
 		return 0, fmt.Errorf("tensor: sqrt of product: %w", err)

@@ -1,0 +1,152 @@
+package tensor
+
+import (
+	"testing"
+)
+
+// TestIntoKernelsBitIdentical verifies every destination-passing kernel
+// against its allocating form, bit for bit, on shapes below and above the
+// parallel-dispatch threshold and with reused (dirty, over-capacity)
+// destinations.
+func TestIntoKernelsBitIdentical(t *testing.T) {
+	rng := NewRNG(42)
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1},
+		{3, 7, 5},
+		{16, 16, 16},
+		{50, 50, 60}, // 150k multiply-adds: above parallelThreshold
+	}
+	for _, s := range shapes {
+		a := randMat(s.m, s.k, rng)
+		b := randMat(s.k, s.n, rng)
+		at := randMat(s.k, s.m, rng) // for T1: aᵀ×b with a of shape k×m
+		bt := randMat(s.n, s.k, rng) // for T2: a×bᵀ with b of shape n×k
+
+		// Dirty, oversized destination exercises the Resize reuse path.
+		dst := randMat(s.m+3, s.n+3, rng)
+
+		if got, want := MatMulInto(dst, a, b), MatMul(a, b); !got.Equal(want) {
+			t.Fatalf("MatMulInto differs from MatMul at %+v", s)
+		}
+		if got, want := MatMulT1Into(dst, at, b), MatMulT1(at, b); !got.Equal(want) {
+			t.Fatalf("MatMulT1Into differs from MatMulT1 at %+v", s)
+		}
+		if got, want := MatMulT2Into(dst, a, bt), MatMulT2(a, bt); !got.Equal(want) {
+			t.Fatalf("MatMulT2Into differs from MatMulT2 at %+v", s)
+		}
+		if got, want := ColSumsInto(dst, a), ColSums(a); !got.Equal(want) {
+			t.Fatalf("ColSumsInto differs from ColSums at %+v", s)
+		}
+		if got, want := TInto(dst, a), a.T(); !got.Equal(want) {
+			t.Fatalf("TInto differs from T at %+v", s)
+		}
+		f := func(v float64) float64 { return v*v + 1 }
+		if got, want := ApplyInto(dst, a, f), a.Map(f); !got.Equal(want) {
+			t.Fatalf("ApplyInto differs from Map at %+v", s)
+		}
+	}
+}
+
+// TestAddMatMulT1IntoZeroStart verifies the fused accumulation matches
+// MatMulT1 bit for bit when the destination arrives zeroed, and matches
+// compute-then-Add within rounding from a non-zero start.
+func TestAddMatMulT1IntoZeroStart(t *testing.T) {
+	rng := NewRNG(7)
+	a := randMat(9, 6, rng)
+	b := randMat(9, 8, rng)
+
+	zeroStart := New(6, 8)
+	AddMatMulT1Into(zeroStart, a, b)
+	if want := MatMulT1(a, b); !zeroStart.Equal(want) {
+		t.Fatal("AddMatMulT1Into into zeroed dst differs from MatMulT1")
+	}
+
+	acc := randMat(6, 8, rng)
+	ref := acc.Clone()
+	AddMatMulT1Into(acc, a, b)
+	ref.Add(MatMulT1(a, b))
+	if !acc.ApproxEqual(ref, 1e-12) {
+		t.Fatal("AddMatMulT1Into from non-zero start diverges beyond rounding")
+	}
+}
+
+func TestAddColSumsInto(t *testing.T) {
+	rng := NewRNG(8)
+	m := randMat(5, 4, rng)
+	acc := New(1, 4)
+	AddColSumsInto(acc, m)
+	if want := ColSums(m); !acc.Equal(want) {
+		t.Fatal("AddColSumsInto into zeroed dst differs from ColSums")
+	}
+}
+
+func TestResizeReusesCapacity(t *testing.T) {
+	m := New(10, 10)
+	data := &m.Data[0]
+	m.Resize(5, 7)
+	if m.Rows != 5 || m.Cols != 7 || len(m.Data) != 35 {
+		t.Fatalf("Resize gave %d×%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	if &m.Data[0] != data {
+		t.Fatal("Resize within capacity reallocated")
+	}
+	m.Resize(20, 20)
+	if len(m.Data) != 400 {
+		t.Fatalf("Resize growth gave len %d", len(m.Data))
+	}
+}
+
+func TestIntoKernelsRejectAliasing(t *testing.T) {
+	a := New(4, 4)
+	cases := map[string]func(){
+		"MatMulInto":   func() { MatMulInto(a, a, New(4, 4)) },
+		"MatMulT1Into": func() { MatMulT1Into(a, New(4, 4), a) },
+		"MatMulT2Into": func() { MatMulT2Into(a, a, a) },
+		"TInto":        func() { TInto(a, a) },
+		"ColSumsInto": func() {
+			v := FromSlice(1, 4, a.Data[:4])
+			ColSumsInto(v, a)
+		},
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted an aliased destination", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestMatMulIntoZeroAllocs is the allocation regression tripwire of the
+// destination-passing refactor: steady-state kernels must not allocate.
+// Shapes stay below parallelThreshold because the parallel branch spawns
+// goroutines (and that branch is amortised over far more arithmetic).
+func TestMatMulIntoZeroAllocs(t *testing.T) {
+	rng := NewRNG(9)
+	a := randMat(16, 24, rng)
+	b := randMat(24, 16, rng)
+	bt := randMat(16, 24, rng)
+	dst := New(16, 16)
+	dw := New(24, 16)
+	colsum := New(1, 24)
+
+	checks := map[string]func(){
+		"MatMulInto":      func() { MatMulInto(dst, a, b) },
+		"MatMulT1Into":    func() { MatMulT1Into(dw, a, dst) },
+		"AddMatMulT1Into": func() { AddMatMulT1Into(dw, a, dst) },
+		"MatMulT2Into":    func() { MatMulT2Into(dst, a, bt) },
+		"ColSumsInto":     func() { ColSumsInto(colsum, a) },
+		"AddColSumsInto":  func() { AddColSumsInto(colsum, a) },
+		"ApplyInto":       func() { ApplyInto(dst, dst, func(v float64) float64 { return v + 1 }) },
+		"TInto":           func() { TInto(dst, bt) },
+	}
+	for name, f := range checks {
+		f() // warm capacity
+		if allocs := testing.AllocsPerRun(20, f); allocs != 0 {
+			t.Errorf("%s: %.0f allocs per run, want 0", name, allocs)
+		}
+	}
+}

@@ -7,6 +7,17 @@ import (
 
 // Mat is a dense, row-major matrix of float64. A Mat with Rows == 1 or
 // Cols == 1 doubles as a vector. The zero value is an empty matrix.
+//
+// Allocation behaviour, for hot-path authors: the constructors (New,
+// FromFunc, Eye, Full) and the value-returning operations (Clone, Map, T,
+// MatMul, MatMulT1, MatMulT2, MatVec, ColSums, RowMeans) allocate a fresh
+// result on every call. The in-place operations (Add, Sub, MulElem, Scale,
+// AddScaled, AddRowVec, Apply, Zero, Fill, CopyFrom) and the
+// destination-passing kernels (MatMulInto, MatMulT1Into, MatMulT2Into,
+// AddMatMulT1Into, ColSumsInto, AddColSumsInto, ApplyInto, TInto) do not
+// allocate once the destination has reached its steady-state capacity —
+// Resize only reallocates when the requested shape outgrows the backing
+// array. Steady-state training and serving loops must use the Into forms.
 type Mat struct {
 	Rows, Cols int
 	// Data holds the elements in row-major order; len(Data) == Rows*Cols.
@@ -67,6 +78,23 @@ func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 
 // Row returns row i as a slice aliasing the matrix storage.
 func (m *Mat) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Resize reshapes m to rows×cols in place, reusing the backing array when
+// its capacity allows and reallocating otherwise. The element values after
+// a Resize are unspecified (destination-passing kernels overwrite them);
+// callers that need zeroed storage follow with Zero or Fill. It returns m.
+func (m *Mat) Resize(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: Resize to negative dimensions %d×%d", rows, cols))
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Data = m.Data[:n]
+	m.Rows, m.Cols = rows, cols
+	return m
+}
 
 // Clone returns a deep copy of m.
 func (m *Mat) Clone() *Mat {
@@ -162,23 +190,38 @@ func (m *Mat) Apply(f func(float64) float64) {
 
 // Map returns a new matrix whose elements are f applied to m's elements.
 func (m *Mat) Map(f func(float64) float64) *Mat {
-	c := New(m.Rows, m.Cols)
-	for i, v := range m.Data {
-		c.Data[i] = f(v)
-	}
-	return c
+	return ApplyInto(&Mat{}, m, f)
 }
 
-// T returns a newly allocated transpose of m.
+// ApplyInto sets dst (resized to src's shape) to f applied element-wise to
+// src. dst == src is allowed and degenerates to Apply. It returns dst.
+func ApplyInto(dst, src *Mat, f func(float64) float64) *Mat {
+	dst.Resize(src.Rows, src.Cols)
+	for i, v := range src.Data {
+		dst.Data[i] = f(v)
+	}
+	return dst
+}
+
+// T returns a newly allocated transpose of m. Hot paths should avoid the
+// materialised transpose entirely via the MatMulT1/MatMulT2 kernels, or
+// reuse a buffer with TInto.
 func (m *Mat) T() *Mat {
-	t := New(m.Cols, m.Rows)
+	return TInto(&Mat{}, m)
+}
+
+// TInto writes the transpose of m into dst (resized to Cols×Rows). dst
+// must not alias m. It returns dst.
+func TInto(dst, m *Mat) *Mat {
+	dst.Resize(m.Cols, m.Rows)
+	mustNotShareData("TInto", dst, m)
 	for i := 0; i < m.Rows; i++ {
 		base := i * m.Cols
 		for j := 0; j < m.Cols; j++ {
-			t.Data[j*m.Rows+i] = m.Data[base+j]
+			dst.Data[j*m.Rows+i] = m.Data[base+j]
 		}
 	}
-	return t
+	return dst
 }
 
 // Sum returns the sum of all elements.

@@ -45,103 +45,211 @@ func ParallelFor(n int, minChunk int, f func(lo, hi int)) {
 	wg.Wait()
 }
 
-// MatMul returns a × b. It parallelises across rows of a for large products
-// and uses an ikj loop order for cache-friendly access to b.
+// mustNotShareData panics when dst shares backing storage with a source
+// operand. Destination-passing kernels read their sources while writing
+// dst, so aliasing would silently corrupt the result. Only whole-matrix
+// aliasing is detected; overlapping FromSlice views are the caller's
+// responsibility.
+func mustNotShareData(op string, dst *Mat, srcs ...*Mat) {
+	for _, s := range srcs {
+		if s == dst || (len(dst.Data) > 0 && len(s.Data) > 0 && &dst.Data[0] == &s.Data[0]) {
+			panic("tensor: " + op + " destination aliases a source operand")
+		}
+	}
+}
+
+// matMulRange computes rows [lo, hi) of c = a × b with an ikj loop order
+// for cache-friendly access to b. When zero is set each output row is
+// cleared before accumulation (the destination-passing path); otherwise c
+// is assumed to arrive zeroed (freshly allocated).
+func matMulRange(c, a, b *Mat, zero bool, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		if zero {
+			for j := range crow {
+				crow[j] = 0
+			}
+		}
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+func matMulDispatch(c, a, b *Mat, zero bool) {
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold {
+		matMulRange(c, a, b, zero, 0, a.Rows)
+		return
+	}
+	minChunk := parallelThreshold / (a.Cols*b.Cols + 1)
+	ParallelFor(a.Rows, minChunk+1, func(lo, hi int) { matMulRange(c, a, b, zero, lo, hi) })
+}
+
+// MatMul returns a × b in a freshly allocated matrix. It parallelises
+// across rows of a for large products. Hot paths should prefer MatMulInto.
 func MatMul(a, b *Mat) *Mat {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	c := New(a.Rows, b.Cols)
-	mulRows := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			crow := c.Row(i)
-			for k, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b.Row(k)
-				for j, bv := range brow {
-					crow[j] += av * bv
-				}
-			}
-		}
-	}
-	work := a.Rows * a.Cols * b.Cols
-	if work < parallelThreshold {
-		mulRows(0, a.Rows)
-	} else {
-		minChunk := parallelThreshold / (a.Cols*b.Cols + 1)
-		ParallelFor(a.Rows, minChunk+1, mulRows)
-	}
+	matMulDispatch(c, a, b, false)
 	return c
 }
 
-// MatMulT1 returns aᵀ × b without materialising the transpose of a.
+// MatMulInto computes dst = a × b, resizing dst as needed and reusing its
+// backing storage when the capacity allows. dst must not alias a or b.
+// The chunk decomposition matches MatMul exactly, so the result is
+// bit-identical to the allocating form. It returns dst.
+func MatMulInto(dst, a, b *Mat) *Mat {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulInto inner dimension mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	dst.Resize(a.Rows, b.Cols)
+	mustNotShareData("MatMulInto", dst, a, b)
+	matMulDispatch(dst, a, b, true)
+	return dst
+}
+
+// matMulT1Range computes columns [lo, hi) of c = aᵀ × b:
+// c[i][j] = Σ_k a[k][i]·b[k][j], accumulating rows of b scaled by a[k][i]
+// so b is walked row-major. When zero is unset, c's rows [lo, hi) are
+// accumulated into rather than overwritten (the fused dW += xᵀ·grad path).
+func matMulT1Range(c, a, b *Mat, zero bool, lo, hi int) {
+	if zero {
+		for i := lo; i < hi; i++ {
+			crow := c.Row(i)
+			for j := range crow {
+				crow[j] = 0
+			}
+		}
+	}
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i := lo; i < hi; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			crow := c.Row(i)
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+func matMulT1Dispatch(c, a, b *Mat, zero bool) {
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold {
+		matMulT1Range(c, a, b, zero, 0, a.Cols)
+		return
+	}
+	minChunk := parallelThreshold / (a.Rows*b.Cols + 1)
+	ParallelFor(a.Cols, minChunk+1, func(lo, hi int) { matMulT1Range(c, a, b, zero, lo, hi) })
+}
+
+// MatMulT1 returns aᵀ × b in a freshly allocated matrix without
+// materialising the transpose of a.
 func MatMulT1(a, b *Mat) *Mat {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulT1 dimension mismatch %d×%d ᵀ· %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	c := New(a.Cols, b.Cols)
-	// c[i][j] = sum_k a[k][i] * b[k][j]; accumulate row-of-b scaled by a[k][i].
-	mulCols := func(lo, hi int) {
-		for k := 0; k < a.Rows; k++ {
-			arow := a.Row(k)
-			brow := b.Row(k)
-			for i := lo; i < hi; i++ {
-				av := arow[i]
-				if av == 0 {
-					continue
-				}
-				crow := c.Row(i)
-				for j, bv := range brow {
-					crow[j] += av * bv
-				}
-			}
-		}
-	}
-	work := a.Rows * a.Cols * b.Cols
-	if work < parallelThreshold {
-		mulCols(0, a.Cols)
-	} else {
-		minChunk := parallelThreshold / (a.Rows*b.Cols + 1)
-		ParallelFor(a.Cols, minChunk+1, mulCols)
-	}
+	matMulT1Dispatch(c, a, b, false)
 	return c
 }
 
-// MatMulT2 returns a × bᵀ without materialising the transpose of b.
+// MatMulT1Into computes dst = aᵀ × b, resizing dst as needed. dst must not
+// alias a or b. Bit-identical to MatMulT1. It returns dst.
+func MatMulT1Into(dst, a, b *Mat) *Mat {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulT1Into dimension mismatch %d×%d ᵀ· %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	dst.Resize(a.Cols, b.Cols)
+	mustNotShareData("MatMulT1Into", dst, a, b)
+	matMulT1Dispatch(dst, a, b, true)
+	return dst
+}
+
+// AddMatMulT1Into computes dst += aᵀ × b without a temporary — the fused
+// gradient accumulation dW += xᵀ·grad of Linear.Backward. dst must already
+// have shape a.Cols×b.Cols and must not alias a or b. When dst arrives
+// zeroed the result is bit-identical to MatMulT1 (every partial sum
+// matches); from a non-zero start the accumulation order differs from
+// compute-then-Add by at most one rounding per element, deterministically.
+func AddMatMulT1Into(dst, a, b *Mat) *Mat {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: AddMatMulT1Into dimension mismatch %d×%d ᵀ· %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: AddMatMulT1Into destination %d×%d, want %d×%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	mustNotShareData("AddMatMulT1Into", dst, a, b)
+	matMulT1Dispatch(dst, a, b, false)
+	return dst
+}
+
+// matMulT2Range computes rows [lo, hi) of c = a × bᵀ. Every element is a
+// full dot product written once, so no zeroing pass is needed.
+func matMulT2Range(c, a, b *Mat, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			s := 0.0
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			crow[j] = s
+		}
+	}
+}
+
+func matMulT2Dispatch(c, a, b *Mat) {
+	work := a.Rows * a.Cols * b.Rows
+	if work < parallelThreshold {
+		matMulT2Range(c, a, b, 0, a.Rows)
+		return
+	}
+	minChunk := parallelThreshold / (a.Cols*b.Rows + 1)
+	ParallelFor(a.Rows, minChunk+1, func(lo, hi int) { matMulT2Range(c, a, b, lo, hi) })
+}
+
+// MatMulT2 returns a × bᵀ in a freshly allocated matrix without
+// materialising the transpose of b.
 func MatMulT2(a, b *Mat) *Mat {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulT2 dimension mismatch %d×%d · %d×%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	c := New(a.Rows, b.Rows)
-	mulRows := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			crow := c.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				brow := b.Row(j)
-				s := 0.0
-				for k, av := range arow {
-					s += av * brow[k]
-				}
-				crow[j] = s
-			}
-		}
-	}
-	work := a.Rows * a.Cols * b.Rows
-	if work < parallelThreshold {
-		mulRows(0, a.Rows)
-	} else {
-		minChunk := parallelThreshold / (a.Cols*b.Rows + 1)
-		ParallelFor(a.Rows, minChunk+1, mulRows)
-	}
+	matMulT2Dispatch(c, a, b)
 	return c
 }
 
+// MatMulT2Into computes dst = a × bᵀ, resizing dst as needed. dst must not
+// alias a or b. Bit-identical to MatMulT2. It returns dst.
+func MatMulT2Into(dst, a, b *Mat) *Mat {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulT2Into dimension mismatch %d×%d · %d×%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	dst.Resize(a.Rows, b.Rows)
+	mustNotShareData("MatMulT2Into", dst, a, b)
+	matMulT2Dispatch(dst, a, b)
+	return dst
+}
+
 // MatVec returns a × x where x is treated as a column vector of length
-// a.Cols; the result has shape a.Rows×1.
+// a.Cols; the result has shape a.Rows×1. Allocates.
 func MatVec(a *Mat, x *Mat) *Mat {
 	if x.Rows*x.Cols != a.Cols {
 		panic(fmt.Sprintf("tensor: MatVec length mismatch %d×%d · %d", a.Rows, a.Cols, x.Rows*x.Cols))
@@ -158,19 +266,46 @@ func MatVec(a *Mat, x *Mat) *Mat {
 	return y
 }
 
-// ColSums returns a 1×Cols row vector of per-column sums of m.
+// ColSums returns a freshly allocated 1×Cols row vector of per-column sums
+// of m.
 func ColSums(m *Mat) *Mat {
-	s := New(1, m.Cols)
+	return ColSumsInto(&Mat{}, m)
+}
+
+// ColSumsInto computes the per-column sums of m into dst (resized to
+// 1×Cols). dst must not alias m. It returns dst.
+func ColSumsInto(dst, m *Mat) *Mat {
+	dst.Resize(1, m.Cols)
+	mustNotShareData("ColSumsInto", dst, m)
+	for j := range dst.Data {
+		dst.Data[j] = 0
+	}
+	colSumsAccum(dst, m)
+	return dst
+}
+
+// AddColSumsInto accumulates the per-column sums of m into dst — the fused
+// dB += colsums(grad) of Linear.Backward. dst must have shape 1×m.Cols and
+// must not alias m.
+func AddColSumsInto(dst, m *Mat) *Mat {
+	if dst.Rows != 1 || dst.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: AddColSumsInto destination %d×%d, want 1×%d", dst.Rows, dst.Cols, m.Cols))
+	}
+	mustNotShareData("AddColSumsInto", dst, m)
+	colSumsAccum(dst, m)
+	return dst
+}
+
+func colSumsAccum(dst, m *Mat) {
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		for j, x := range row {
-			s.Data[j] += x
+			dst.Data[j] += x
 		}
 	}
-	return s
 }
 
-// RowMeans returns a Rows×1 column vector of per-row means of m.
+// RowMeans returns a Rows×1 column vector of per-row means of m. Allocates.
 func RowMeans(m *Mat) *Mat {
 	r := New(m.Rows, 1)
 	if m.Cols == 0 {
