@@ -1,7 +1,7 @@
 # make check mirrors .github/workflows/ci.yml for local runs.
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-smoke bench-json
+.PHONY: check fmt vet build test race bench bench-smoke bench-json staticcheck
 
 check: fmt vet build test race
 
@@ -19,17 +19,27 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrent packages (serving engine, message passing,
-# client-server exchange, checkpoint train-in-test helpers).
+# client-server exchange, checkpoint train-in-test helpers, telemetry
+# registry).
 race:
-	$(GO) test -race ./internal/serve/ ./internal/mpi/ ./internal/clientserver/ ./internal/checkpoint/
+	$(GO) test -race ./internal/serve/ ./internal/mpi/ ./internal/clientserver/ ./internal/checkpoint/ ./internal/telemetry/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# One iteration of every benchmark: catches benchmarks that no longer
-# compile or panic, without the cost of a measured run.
+# One iteration of every benchmark plus the allocation tripwires
+# (-run='Allocs' picks up the AllocsPerRun tests guarding the training
+# iteration and telemetry observation hot paths).
 bench-smoke:
-	$(GO) test -run=NoTests -bench=. -benchtime=1x ./...
+	$(GO) test -run='Allocs' -bench=. -benchtime=1x ./...
+
+# Best-effort static analysis: runs staticcheck when it is installed
+# (CI pins its own copy via dominikh/staticcheck-action).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; fi
 
 # Measured compute benchmarks archived as machine-readable JSON.
 bench-json:

@@ -16,12 +16,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"cellgan/internal/cluster"
 	"cellgan/internal/config"
 	"cellgan/internal/mpi"
+	"cellgan/internal/profile"
+	"cellgan/internal/telemetry"
 )
 
 func main() {
@@ -41,6 +46,7 @@ func main() {
 	chaosDrop := flag.Float64("chaos-drop", 0.1, "injected message drop probability (with -chaos-seed)")
 	chaosDup := flag.Float64("chaos-dup", 0.1, "injected message duplication probability (with -chaos-seed)")
 	chaosDelay := flag.Float64("chaos-delay", 0.2, "injected message delay probability (with -chaos-seed)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address during the run")
 	flag.Parse()
 
 	list := strings.Split(*addrs, ",")
@@ -94,13 +100,51 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var faultStats mpi.FaultStats
 	if *chaosSeed != 0 {
-		comm = mpi.FaultyComm(comm, cluster.ChaosPlan(*chaosSeed, *chaosDrop, *chaosDup, *chaosDelay))
+		plan := cluster.ChaosPlan(*chaosSeed, *chaosDrop, *chaosDup, *chaosDelay)
+		plan.Stats = &faultStats
+		comm = mpi.FaultyComm(comm, plan)
 		if *rank == 0 {
 			fmt.Printf("chaos: injecting faults with seed %d (drop %.2f, dup %.2f, delay %.2f)\n",
 				*chaosSeed, *chaosDrop, *chaosDup, *chaosDelay)
 		}
 	}
+	// The stats wrap goes outside the fault layer so the counters see
+	// what actually enters the wire, duplicates included.
+	var commStats mpi.CommStats
+	comm = mpi.InstrumentComm(comm, &commStats)
+
+	reg := telemetry.NewRegistry()
+	registerRankMetrics(reg, *rank, &commStats, &faultStats, *chaosSeed != 0)
+	if *debugAddr != "" {
+		srv, bound, err := telemetry.StartDebugServer(*debugAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("rank %d debug server on http://%s (/metrics, /debug/pprof/)\n", *rank, bound)
+	}
+
+	// First SIGINT/SIGTERM: the master aborts the job at the next round /
+	// iteration boundary and still collects results; slaves rely on the
+	// master's abort. A second signal exits immediately.
+	interrupt := make(chan struct{})
+	var interruptOnce sync.Once
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		if *rank == 0 {
+			fmt.Fprintln(os.Stderr, "cluster: interrupted, aborting job at the next boundary (^C again to exit now)")
+		} else {
+			fmt.Fprintln(os.Stderr, "cluster: interrupted, waiting for the master to abort (^C again to exit now)")
+		}
+		interruptOnce.Do(func() { close(interrupt) })
+		<-sigCh
+		os.Exit(130)
+	}()
+
 	local, err := cluster.SplitLocal(comm)
 	if err != nil {
 		fatal(err)
@@ -111,6 +155,8 @@ func main() {
 			Cfg:       cfg,
 			Resilient: *resilient,
 			Logf:      func(format string, args ...interface{}) { fmt.Printf(format+"\n", args...) },
+			Interrupt: interrupt,
+			Metrics:   cluster.NewMetrics(reg),
 		})
 		if err != nil {
 			fatal(err)
@@ -125,12 +171,49 @@ func main() {
 			fmt.Printf("  cell %d on %s: %d iterations, fitness %.4f [%s]\n",
 				r.CellRank, r.Node, r.Iterations, r.MixtureFitness, status)
 		}
+		if len(res.Profile) > 0 {
+			p := profile.New()
+			p.Merge(res.Profile)
+			fmt.Println()
+			fmt.Println(p.Report())
+		}
+		fmt.Printf("comm: %d messages / %d bytes sent, %d messages / %d bytes received\n",
+			commStats.SentMessages.Load(), commStats.SentBytes.Load(),
+			commStats.RecvMessages.Load(), commStats.RecvBytes.Load())
 		return
 	}
 	if err := cluster.RunSlave(comm, local); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("rank %d (slave) finished\n", *rank)
+}
+
+// registerRankMetrics exposes the rank's communicator traffic (and, under
+// chaos, the injected-fault counts) on the debug registry.
+func registerRankMetrics(reg *telemetry.Registry, rank int, cs *mpi.CommStats, fs *mpi.FaultStats, chaos bool) {
+	reg.GaugeFunc("mpi_rank", "This process's world rank.",
+		func() float64 { return float64(rank) })
+	reg.GaugeFunc("mpi_sent_messages_total", "Messages sent by this rank.",
+		func() float64 { return float64(cs.SentMessages.Load()) })
+	reg.GaugeFunc("mpi_sent_bytes_total", "Bytes sent by this rank.",
+		func() float64 { return float64(cs.SentBytes.Load()) })
+	reg.GaugeFunc("mpi_recv_messages_total", "Messages received by this rank.",
+		func() float64 { return float64(cs.RecvMessages.Load()) })
+	reg.GaugeFunc("mpi_recv_bytes_total", "Bytes received by this rank.",
+		func() float64 { return float64(cs.RecvBytes.Load()) })
+	if !chaos {
+		return
+	}
+	reg.GaugeFunc("mpi_fault_drops_total", "Messages dropped by the fault plan.",
+		func() float64 { return float64(fs.Drops.Load()) })
+	reg.GaugeFunc("mpi_fault_dups_total", "Messages duplicated by the fault plan.",
+		func() float64 { return float64(fs.Dups.Load()) })
+	reg.GaugeFunc("mpi_fault_delays_total", "Messages delayed by the fault plan.",
+		func() float64 { return float64(fs.Delays.Load()) })
+	reg.GaugeFunc("mpi_fault_partition_drops_total", "Messages dropped by partition windows.",
+		func() float64 { return float64(fs.PartitionDrops.Load()) })
+	reg.GaugeFunc("mpi_fault_crashes_total", "Injected rank crashes.",
+		func() float64 { return float64(fs.Crashes.Load()) })
 }
 
 func fatal(err error) {

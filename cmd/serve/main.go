@@ -28,6 +28,7 @@ import (
 
 	"cellgan/internal/report"
 	"cellgan/internal/serve"
+	"cellgan/internal/telemetry"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func main() {
 	clients := flag.Int("clients", 32, "loadtest: concurrent clients")
 	requests := flag.Int("requests", 1024, "loadtest: total requests")
 	samplesPer := flag.Int("n", 4, "loadtest: samples per request")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this extra address")
 	flag.Parse()
 
 	if *models == "" {
@@ -71,6 +73,18 @@ func main() {
 		m := e.Model()
 		fmt.Printf("loaded %s from %s: %d-member mixture, latent %d → output %d\n",
 			name, path, len(m.Artifact.Ranks), m.LatentDim, m.OutputDim)
+	}
+
+	if *debugAddr != "" {
+		// The debug server shares the serving metrics registry, so the
+		// same series appear on both /metrics endpoints, plus pprof.
+		dsrv, bound, err := telemetry.StartDebugServer(*debugAddr, reg.Metrics().Registry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		defer dsrv.Close()
+		fmt.Printf("debug server on http://%s (/metrics, /debug/pprof/)\n", bound)
 	}
 
 	srv := serve.NewServer(reg, *timeout)

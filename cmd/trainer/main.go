@@ -21,8 +21,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"cellgan/internal/checkpoint"
@@ -33,6 +36,7 @@ import (
 	"cellgan/internal/dataset"
 	"cellgan/internal/metrics"
 	"cellgan/internal/profile"
+	"cellgan/internal/telemetry"
 	"cellgan/internal/tensor"
 )
 
@@ -58,6 +62,8 @@ func main() {
 	mustangs := flag.Bool("mustangs", false, "evolve the GAN loss function (bce/minimax/lsgan pool)")
 	saveSamples := flag.String("save-samples", "", "write generated samples as PGM images into this directory")
 	netType := flag.String("net", "MLP", "network topology: MLP (paper) or CNN (DCGAN-style, future-work)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address during the run")
+	tracePath := flag.String("trace", "", "append one JSONL event per cell iteration to this file")
 	flag.Parse()
 
 	cfg := config.Default()
@@ -80,7 +86,44 @@ func main() {
 	}
 
 	prof := profile.New()
-	opts := core.RunOptions{Prof: prof}
+	reg := telemetry.NewRegistry()
+	telemetry.AttachProfiler(reg, "trainer", prof)
+	if *debugAddr != "" {
+		srv, bound, err := telemetry.StartDebugServer(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trainer:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server on http://%s (/metrics, /debug/pprof/)\n", bound)
+	}
+
+	// First SIGINT/SIGTERM requests a stop at the next iteration boundary
+	// (the run returns normally, so -checkpoint and the summary still
+	// happen); a second signal exits immediately.
+	var stopFlag atomic.Bool
+	interrupt := make(chan struct{})
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "trainer: interrupted, stopping at the next iteration boundary (^C again to exit now)")
+		stopFlag.Store(true)
+		close(interrupt)
+		<-sigCh
+		os.Exit(130)
+	}()
+
+	opts := core.RunOptions{Prof: prof, Telemetry: reg, Stop: stopFlag.Load}
+	if *tracePath != "" {
+		tr, err := telemetry.OpenTraceFile(*tracePath, cfg.Seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trainer:", err)
+			os.Exit(1)
+		}
+		defer tr.Close()
+		opts.Trace = tr
+	}
 	if *idxImages != "" || *idxLabels != "" {
 		if *idxImages == "" || *idxLabels == "" {
 			fmt.Fprintln(os.Stderr, "trainer: -idx-images and -idx-labels must be given together")
@@ -118,7 +161,7 @@ func main() {
 			}
 		}
 	default:
-		res, err = runMode(*mode, cfg, opts, *verbose)
+		res, err = runMode(*mode, cfg, opts, *verbose, reg, interrupt)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "trainer:", err)
@@ -126,6 +169,10 @@ func main() {
 	}
 	if res == nil {
 		return // job mode prints its own summary
+	}
+	if stopFlag.Load() {
+		fmt.Printf("run stopped early at iteration %d/%d\n",
+			res.Cells[0].Last.Iteration, cfg.Iterations)
 	}
 
 	if *saveCkpt != "" {
@@ -219,7 +266,8 @@ func main() {
 
 // runMode dispatches the non-resume execution paths. Job mode prints its
 // own summary and returns (nil, nil).
-func runMode(mode string, cfg config.Config, opts core.RunOptions, verbose bool) (*core.Result, error) {
+func runMode(mode string, cfg config.Config, opts core.RunOptions, verbose bool,
+	reg *telemetry.Registry, interrupt <-chan struct{}) (*core.Result, error) {
 	switch mode {
 	case "seq", "par", "async":
 		return core.Run(mode, cfg, opts)
@@ -227,7 +275,12 @@ func runMode(mode string, cfg config.Config, opts core.RunOptions, verbose bool)
 		// The pre-MPI client-server architecture, kept as a comparator.
 		return clientserver.Run(cfg, opts)
 	case "job":
-		job, err := cluster.RunJob(cluster.MasterOptions{Cfg: cfg, Logf: logfIf(verbose)})
+		job, err := cluster.RunJob(cluster.MasterOptions{
+			Cfg:       cfg,
+			Logf:      logfIf(verbose),
+			Interrupt: interrupt,
+			Metrics:   cluster.NewMetrics(reg),
+		})
 		if err != nil {
 			return nil, err
 		}

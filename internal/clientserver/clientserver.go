@@ -172,6 +172,11 @@ func Run(cfg config.Config, opts core.RunOptions) (*core.Result, error) {
 				}
 				var last core.IterStats
 				for iter := 0; iter < cfg.Iterations; iter++ {
+					// Like the async mode there is no barrier, so each
+					// rank honours the stop signal at its own boundary.
+					if opts.Stop != nil && opts.Stop() {
+						break
+					}
 					if err := refresh(); err != nil {
 						return err
 					}

@@ -43,6 +43,14 @@ type MasterOptions struct {
 	// MaxStrikes is how many consecutive missed rounds evict a slave
 	// (resilient mode only); 0 defaults to 3.
 	MaxStrikes int
+
+	// Interrupt, when non-nil, aborts the job once closed: the master
+	// tells every slave to stop at its next iteration boundary and then
+	// collects results normally, exactly as when Cfg.TimeLimit expires.
+	Interrupt <-chan struct{}
+	// Metrics, when non-nil, receives the master's runtime counters; nil
+	// records nothing.
+	Metrics *Metrics
 }
 
 // RunMaster executes the master role on rank 0 of comm (Fig 3, left). The
@@ -73,6 +81,9 @@ func RunMaster(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) {
 	}
 	if opts.MaxStrikes <= 0 {
 		opts.MaxStrikes = 3
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = NewMetrics(nil)
 	}
 	if opts.Resilient {
 		return runMasterResilient(comm, opts)
@@ -133,6 +144,7 @@ func RunMaster(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) {
 		deadline = started.Add(opts.Cfg.TimeLimit)
 	}
 	aborted := false
+	opts.Metrics.LiveSlaves.Set(float64(nSlaves))
 	hbErr := make(chan error, 1)
 	go func() {
 		hbErr <- func() error {
@@ -146,6 +158,7 @@ func RunMaster(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) {
 					if err != nil {
 						return fmt.Errorf("slave %d unresponsive: %w", s, err)
 					}
+					opts.Metrics.Heartbeats.Inc()
 					st := SlaveState(m.Data[0])
 					if st != states[s] {
 						transMu.Lock()
@@ -161,9 +174,14 @@ func RunMaster(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) {
 				if allFinished {
 					return nil
 				}
-				if !aborted && !deadline.IsZero() && time.Now().After(deadline) {
+				if !aborted && (interrupted(opts.Interrupt) ||
+					(!deadline.IsZero() && time.Now().After(deadline))) {
 					aborted = true
-					logf("heartbeat: time limit exceeded, sending abort to all slaves")
+					why := "time limit exceeded"
+					if interrupted(opts.Interrupt) {
+						why = "interrupted"
+					}
+					logf("heartbeat: %s, sending abort to all slaves", why)
 					for s := 1; s <= nSlaves; s++ {
 						if err := comm.Send(s, tagAbort, nil); err != nil {
 							return err

@@ -1,0 +1,50 @@
+package cluster
+
+import "cellgan/internal/telemetry"
+
+// Metrics are the master's runtime counters. Built over the shared
+// telemetry registry; NewMetrics(nil) returns a fully usable no-op set
+// (nil instruments are no-ops), so the master code threads metrics
+// through unconditionally.
+type Metrics struct {
+	// Rounds counts completed synchronous exchange rounds (resilient
+	// mode).
+	Rounds *telemetry.Counter
+	// StateUpdates counts parsed per-round state uploads from slaves.
+	StateUpdates *telemetry.Counter
+	// Evictions counts slaves removed for missing MaxStrikes rounds.
+	Evictions *telemetry.Counter
+	// Redispatches counts cells reassigned from an evicted slave to a
+	// survivor.
+	Redispatches *telemetry.Counter
+	// SendRetries counts re-sent master messages (lost or refused sends).
+	SendRetries *telemetry.Counter
+	// Heartbeats counts status polls answered by slaves.
+	Heartbeats *telemetry.Counter
+	// LiveSlaves tracks the current number of live slaves.
+	LiveSlaves *telemetry.Gauge
+}
+
+// NewMetrics registers the master metrics on reg; a nil registry yields
+// a no-op set.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Rounds:       reg.Counter("cluster_rounds_total", "Completed synchronous exchange rounds."),
+		StateUpdates: reg.Counter("cluster_state_updates_total", "State uploads merged into the master grid view."),
+		Evictions:    reg.Counter("cluster_evictions_total", "Slaves evicted for missing consecutive rounds."),
+		Redispatches: reg.Counter("cluster_redispatches_total", "Cells reassigned from evicted slaves to survivors."),
+		SendRetries:  reg.Counter("cluster_send_retries_total", "Master messages re-sent after a failed attempt."),
+		Heartbeats:   reg.Counter("cluster_heartbeats_total", "Status polls answered by slaves."),
+		LiveSlaves:   reg.Gauge("cluster_live_slaves", "Slaves currently participating in the job."),
+	}
+}
+
+// interrupted reports whether ch (possibly nil) has been closed.
+func interrupted(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}

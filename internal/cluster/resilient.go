@@ -9,6 +9,7 @@ import (
 	"cellgan/internal/core"
 	"cellgan/internal/mpi"
 	"cellgan/internal/profile"
+	"cellgan/internal/telemetry"
 )
 
 // This file is the master side of the failure-tolerant runtime. In
@@ -30,10 +31,14 @@ import (
 // Fig 2 state transitions and logs unresponsive slaves.
 
 // retrySend sends with capped retries and exponential backoff, giving up
-// immediately on permanent transport errors.
-func retrySend(c *mpi.Comm, dst, tag int, data []byte, attempts int, backoff time.Duration) error {
+// immediately on permanent transport errors. Each re-sent attempt is
+// counted in retries (nil-safe).
+func retrySend(c *mpi.Comm, dst, tag int, data []byte, attempts int, backoff time.Duration, retries *telemetry.Counter) error {
 	var err error
 	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			retries.Inc()
+		}
 		if err = c.Send(dst, tag, data); err == nil {
 			return nil
 		}
@@ -119,7 +124,7 @@ func runMasterResilient(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) 
 		if err != nil {
 			return nil, err
 		}
-		if err := retrySend(comm, s, tagRunTask, payload, 4, 10*time.Millisecond); err != nil {
+		if err := retrySend(comm, s, tagRunTask, payload, 4, 10*time.Millisecond, opts.Metrics.SendRetries); err != nil {
 			// A slave that never starts will be struck out of the first
 			// round and its cell re-dispatched; the job survives.
 			logf("master: sending run task to slave %d failed: %v", s, err)
@@ -133,6 +138,7 @@ func runMasterResilient(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) 
 	for s := 1; s <= nSlaves; s++ {
 		live[s] = true
 	}
+	opts.Metrics.LiveSlaves.Set(float64(nSlaves))
 	isLive := func(s int) bool {
 		liveMu.Lock()
 		defer liveMu.Unlock()
@@ -183,6 +189,7 @@ func runMasterResilient(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) 
 					logf("heartbeat: slave %d unresponsive", s)
 					continue
 				}
+				opts.Metrics.Heartbeats.Inc()
 				st := SlaveState(m.Data[0])
 				if st != states[s] {
 					transMu.Lock()
@@ -212,6 +219,7 @@ func runMasterResilient(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) 
 		liveMu.Lock()
 		live[s] = false
 		liveMu.Unlock()
+		opts.Metrics.Evictions.Inc()
 		logf("master: evicting slave %d (%s)", s, why)
 		comm.Send(s, tagShutdown, nil) //nolint:errcheck // best-effort zombie release
 		owned := func(sl int) int {
@@ -240,6 +248,7 @@ func runMasterResilient(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) 
 				return // no survivors; the round loop errors out
 			}
 			t.owner = survivor
+			opts.Metrics.Redispatches.Inc()
 			adoptQueue[survivor] = append(adoptQueue[survivor], cellBlob{
 				CellRank: c, Iteration: t.iter, Full: t.full,
 				Failed: t.failed, Error: t.errNote, Fitness: t.fitness,
@@ -247,6 +256,7 @@ func runMasterResilient(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) 
 			logf("master: reassigned cell %d from slave %d to slave %d (re-dispatching from iteration %d)",
 				c, s, survivor, t.iter)
 		}
+		opts.Metrics.LiveSlaves.Set(float64(liveCount()))
 	}
 
 	// The synchronous round loop.
@@ -313,6 +323,7 @@ func runMasterResilient(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) 
 				logf("master: bad state update from slave %d: %v", m.Src, err)
 				continue
 			}
+			opts.Metrics.StateUpdates.Inc()
 			// Merge monotonically: training is deterministic, so for a
 			// given iteration count the state content is unique and
 			// duplicate or late uploads are harmless.
@@ -345,7 +356,9 @@ func runMasterResilient(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) 
 
 		// Round complete: decide whether training is over and publish the
 		// merged grid view.
-		abortNow := !jobDeadline.IsZero() && time.Now().After(jobDeadline)
+		opts.Metrics.Rounds.Inc()
+		abortNow := interrupted(opts.Interrupt) ||
+			(!jobDeadline.IsZero() && time.Now().After(jobDeadline))
 		done := true
 		for _, t := range track {
 			if !t.failed && t.iter < target {
@@ -374,14 +387,18 @@ func runMasterResilient(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) 
 				return nil, merr
 			}
 			lastNS[s] = payload
-			if err := retrySend(comm, s, tagNeighborSet, payload, 4, 10*time.Millisecond); err != nil {
+			if err := retrySend(comm, s, tagNeighborSet, payload, 4, 10*time.Millisecond, opts.Metrics.SendRetries); err != nil {
 				logf("master: neighbor set to slave %d failed: %v", s, err)
 			}
 		}
 		if done {
 			if abortNow {
 				res.Aborted = true
-				logf("master: time limit exceeded, finishing round %d with abort", round)
+				why := "time limit exceeded"
+				if interrupted(opts.Interrupt) {
+					why = "interrupted"
+				}
+				logf("master: %s, finishing round %d with abort", why, round)
 			}
 			logf("master: training done after round %d, collecting results", round)
 			break

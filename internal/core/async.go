@@ -42,6 +42,7 @@ func RunAsync(cfg config.Config, opts RunOptions) (*Result, error) {
 	}
 	defer world.Close()
 
+	inst := newRunInstruments(opts.Telemetry, opts.Trace, n)
 	results := make([]CellResult, n)
 	errs := make(chan error, n)
 	var wg sync.WaitGroup
@@ -49,7 +50,7 @@ func RunAsync(cfg config.Config, opts RunOptions) (*Result, error) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			errs <- asyncCellLoop(cfg, rank, g, world, prof, opts, results)
+			errs <- asyncCellLoop(cfg, rank, g, world, prof, opts, inst, results)
 		}(rank)
 	}
 	wg.Wait()
@@ -66,7 +67,7 @@ func RunAsync(cfg config.Config, opts RunOptions) (*Result, error) {
 
 // asyncCellLoop is one rank's life in the asynchronous mode.
 func asyncCellLoop(cfg config.Config, rank int, g *grid.Grid, world *mpi.World,
-	prof *profile.Profiler, opts RunOptions, results []CellResult) error {
+	prof *profile.Profiler, opts RunOptions, inst *runInstruments, results []CellResult) error {
 	comm, err := world.Comm(rank)
 	if err != nil {
 		return err
@@ -81,6 +82,8 @@ func asyncCellLoop(cfg config.Config, rank int, g *grid.Grid, world *mpi.World,
 	// buffered, so no receiver needs to be ready.
 	push := func() error {
 		defer prof.Start(profile.RoutineGather)()
+		t0 := time.Now()
+		defer func() { inst.observeExchange(time.Since(t0)) }()
 		state, err := cell.State()
 		if err != nil {
 			return err
@@ -135,6 +138,11 @@ func asyncCellLoop(cfg config.Config, rank int, g *grid.Grid, world *mpi.World,
 	}
 	var last IterStats
 	for iter := 0; iter < cfg.Iterations; iter++ {
+		// No barrier in this mode, so each rank honours the stop signal
+		// independently at its own iteration boundary.
+		if stopRequested(opts) {
+			break
+		}
 		if err := absorb(); err != nil {
 			return err
 		}
@@ -142,6 +150,7 @@ func asyncCellLoop(cfg config.Config, rank int, g *grid.Grid, world *mpi.World,
 		if err != nil {
 			return err
 		}
+		inst.observeIter(rank, last)
 		if opts.Progress != nil {
 			opts.Progress(rank, last)
 		}

@@ -11,6 +11,7 @@ import (
 	"cellgan/internal/mpi"
 	"cellgan/internal/nn"
 	"cellgan/internal/profile"
+	"cellgan/internal/telemetry"
 )
 
 // RunOptions tunes a training run.
@@ -28,6 +29,19 @@ type RunOptions struct {
 	// Data overrides the training data source (e.g. real MNIST loaded
 	// from IDX files); nil selects the procedural digit dataset.
 	Data dataset.Source
+	// Telemetry, when non-nil, receives training-loop metrics (iteration
+	// counters, per-cell losses, exchange latency) for the /metrics
+	// exposition. Observation is allocation-free and lock-free.
+	Telemetry *telemetry.Registry
+	// Trace, when non-nil, receives one JSONL event per cell iteration.
+	Trace *telemetry.Trace
+	// Stop, when non-nil, is polled at iteration boundaries; once it
+	// returns true the run finishes the current iteration, performs a
+	// final exchange where the mode requires one, and returns normally
+	// with the state reached so far (suitable for checkpointing). In
+	// parallel mode the decision is reached by consensus: a stop vote is
+	// carried on the allgather, so every rank halts at the same boundary.
+	Stop func() bool
 }
 
 // restoreIfResuming applies the matching resume state to a fresh cell.
@@ -196,24 +210,34 @@ func RunSequential(cfg config.Config, opts RunOptions) (*Result, error) {
 		}
 		cells[r] = cell
 	}
+	inst := newRunInstruments(opts.Telemetry, opts.Trace, g.Size())
+	exchange := func() error {
+		t0 := time.Now()
+		if err := exchangeLocal(cells, prof); err != nil {
+			return err
+		}
+		inst.observeExchange(time.Since(t0))
+		return nil
+	}
 	// Initial exchange so iteration 1 already sees the neighbourhood (and
 	// a resumed run re-sees it).
-	if err := exchangeLocal(cells, prof); err != nil {
+	if err := exchange(); err != nil {
 		return nil, err
 	}
 	lasts := make([]IterStats, len(cells))
-	for cells[0].Iteration() < cfg.Iterations {
+	for cells[0].Iteration() < cfg.Iterations && !stopRequested(opts) {
 		for _, c := range cells {
 			stats, err := c.Iterate()
 			if err != nil {
 				return nil, err
 			}
 			lasts[c.Rank] = stats
+			inst.observeIter(c.Rank, stats)
 			if opts.Progress != nil {
 				opts.Progress(c.Rank, stats)
 			}
 		}
-		if err := exchangeLocal(cells, prof); err != nil {
+		if err := exchange(); err != nil {
 			return nil, err
 		}
 	}
@@ -265,6 +289,7 @@ func RunParallel(cfg config.Config, opts RunOptions) (*Result, error) {
 	}
 	defer world.Close()
 
+	inst := newRunInstruments(opts.Telemetry, opts.Trace, n)
 	results := make([]CellResult, n)
 	fulls := make([]*FullState, n)
 	errs := make(chan error, n)
@@ -285,40 +310,65 @@ func RunParallel(cfg config.Config, opts RunOptions) (*Result, error) {
 				if err := restoreIfResuming(cell, opts, n); err != nil {
 					return err
 				}
-				exchange := func() error {
+				// exchange allgathers the cell centers with a one-byte
+				// stop vote prefixed to each payload: every rank sees the
+				// same vote set, so all ranks agree on whether this round
+				// is the last — no rank can block on a barrier a stopped
+				// peer never reaches.
+				exchange := func() (bool, error) {
 					state, err := cell.State()
 					if err != nil {
-						return err
+						return false, err
 					}
+					vote := byte(0)
+					if stopRequested(opts) {
+						vote = 1
+					}
+					body := state.Marshal()
+					payload := make([]byte, 1+len(body))
+					payload[0] = vote
+					copy(payload[1:], body)
 					stop := prof.Start(profile.RoutineGather)
-					parts, err := comm.Allgather(state.Marshal())
+					t0 := time.Now()
+					parts, err := comm.Allgather(payload)
+					inst.observeExchange(time.Since(t0))
 					stop()
 					if err != nil {
-						return err
+						return false, err
 					}
+					halt := false
 					states := make(map[int]*CellState, len(parts))
 					for _, p := range parts {
-						s, err := UnmarshalCellState(p)
+						if len(p) == 0 {
+							return false, fmt.Errorf("core: empty exchange payload")
+						}
+						if p[0] != 0 {
+							halt = true
+						}
+						s, err := UnmarshalCellState(p[1:])
 						if err != nil {
-							return err
+							return false, err
 						}
 						states[s.Rank] = s
 					}
-					return cell.SetNeighbors(states)
+					return halt, cell.SetNeighbors(states)
 				}
-				if err := exchange(); err != nil {
+				halt, err := exchange()
+				if err != nil {
 					return err
 				}
 				var last IterStats
-				for cell.Iteration() < cfg.Iterations {
+				for !halt && cell.Iteration() < cfg.Iterations {
 					last, err = cell.Iterate()
 					if err != nil {
 						return err
 					}
+					inst.observeIter(rank, last)
 					if opts.Progress != nil {
 						opts.Progress(rank, last)
 					}
-					if err := exchange(); err != nil {
+					halt, err = exchange()
+					if err != nil {
 						return err
 					}
 				}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"strconv"
+	"time"
+
+	"cellgan/internal/telemetry"
+)
+
+// exchangeLatencyBuckets cover neighbourhood-exchange latency from 1 µs
+// to ~8 s in powers of two.
+var exchangeLatencyBuckets = telemetry.ExponentialBuckets(1e-6, 2, 24)
+
+// runInstruments bundles the training-loop metrics of one run. All
+// observation methods are nil-receiver safe and allocation-free on the
+// metrics path, so the runners thread them through unconditionally
+// without disturbing the iteration alloc budget.
+type runInstruments struct {
+	trace *telemetry.Trace
+
+	iterations      *telemetry.Counter
+	replacements    *telemetry.Counter
+	exchanges       *telemetry.Counter
+	exchangeSeconds *telemetry.Histogram
+	cells           []cellInstruments
+}
+
+// cellInstruments are the per-cell gauges, labelled cell="<rank>".
+type cellInstruments struct {
+	iteration      *telemetry.Gauge
+	genLoss        *telemetry.Gauge
+	discLoss       *telemetry.Gauge
+	mixtureFitness *telemetry.Gauge
+	genLR          *telemetry.Gauge
+}
+
+// newRunInstruments registers the training metrics for an n-cell grid.
+// Returns nil (a no-op observer) when neither a registry nor a trace is
+// configured.
+func newRunInstruments(reg *telemetry.Registry, trace *telemetry.Trace, n int) *runInstruments {
+	if reg == nil && trace == nil {
+		return nil
+	}
+	ri := &runInstruments{
+		trace:           trace,
+		iterations:      reg.Counter("train_iterations_total", "Completed cell training iterations."),
+		replacements:    reg.Counter("train_replacements_total", "Selection events that adopted a neighbour's center."),
+		exchanges:       reg.Counter("train_exchanges_total", "Completed neighbourhood exchanges."),
+		exchangeSeconds: reg.Histogram("train_exchange_seconds", "Neighbourhood exchange latency.", exchangeLatencyBuckets),
+		cells:           make([]cellInstruments, n),
+	}
+	for r := 0; r < n; r++ {
+		labels := `cell="` + strconv.Itoa(r) + `"`
+		ri.cells[r] = cellInstruments{
+			iteration:      reg.GaugeL("train_cell_iteration", labels, "Current iteration per cell."),
+			genLoss:        reg.GaugeL("train_cell_gen_loss", labels, "Last generator training loss per cell."),
+			discLoss:       reg.GaugeL("train_cell_disc_loss", labels, "Last discriminator training loss per cell."),
+			mixtureFitness: reg.GaugeL("train_cell_mixture_fitness", labels, "Accepted mixture fitness per cell."),
+			genLR:          reg.GaugeL("train_cell_gen_lr", labels, "Self-adapted generator learning rate per cell."),
+		}
+	}
+	return ri
+}
+
+// observeIter records the outcome of one cell iteration. Safe to call
+// concurrently from per-rank goroutines: distinct ranks touch distinct
+// gauges and the shared counters are atomic.
+func (ri *runInstruments) observeIter(rank int, s IterStats) {
+	if ri == nil {
+		return
+	}
+	ri.iterations.Inc()
+	if s.GenReplaced || s.DiscReplaced {
+		ri.replacements.Inc()
+	}
+	if rank >= 0 && rank < len(ri.cells) {
+		c := &ri.cells[rank]
+		c.iteration.Set(float64(s.Iteration))
+		c.genLoss.Set(s.GenLoss)
+		c.discLoss.Set(s.DiscLoss)
+		c.mixtureFitness.Set(s.MixtureFitness)
+		c.genLR.Set(s.GenLR)
+	}
+	if ri.trace != nil {
+		ri.trace.Event("iter",
+			telemetry.F("cell", float64(rank)),
+			telemetry.F("iteration", float64(s.Iteration)),
+			telemetry.F("gen_loss", s.GenLoss),
+			telemetry.F("disc_loss", s.DiscLoss),
+			telemetry.F("gen_fitness", s.GenFitness),
+			telemetry.F("disc_fitness", s.DiscFitness),
+			telemetry.F("mixture_fitness", s.MixtureFitness),
+			telemetry.F("gen_lr", s.GenLR),
+			telemetry.F("disc_lr", s.DiscLR),
+		)
+	}
+}
+
+// observeExchange records the latency of one neighbourhood exchange.
+func (ri *runInstruments) observeExchange(d time.Duration) {
+	if ri == nil {
+		return
+	}
+	ri.exchanges.Inc()
+	ri.exchangeSeconds.Observe(d.Seconds())
+}
+
+// stopRequested reports whether the run should halt at the next
+// iteration boundary.
+func stopRequested(opts RunOptions) bool {
+	return opts.Stop != nil && opts.Stop()
+}

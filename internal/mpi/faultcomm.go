@@ -3,6 +3,7 @@ package mpi
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -70,6 +71,20 @@ type FaultPlan struct {
 	Partitions []Partition
 	// Crashes are scheduled rank deaths.
 	Crashes []CrashPoint
+	// Stats, when non-nil, counts every injected fault as it fires, so a
+	// chaos run can report what the schedule actually did. Shared across
+	// the ranks of a job to aggregate, or per-rank to attribute.
+	Stats *FaultStats
+}
+
+// FaultStats counts injected faults. All fields are atomic: ranks inject
+// concurrently and telemetry scrapes read while they do.
+type FaultStats struct {
+	Drops          atomic.Uint64
+	Dups           atomic.Uint64
+	Delays         atomic.Uint64
+	PartitionDrops atomic.Uint64
+	Crashes        atomic.Uint64
 }
 
 // Active reports whether the plan injects anything at all.
@@ -254,6 +269,9 @@ func (fe *faultEndpoint) deliverLocked(dst int, m wireMsg, st *faultStream, seq,
 			continue
 		}
 		if w >= p.FromSeq && w < p.ToSeq {
+			if fe.plan.Stats != nil {
+				fe.plan.Stats.PartitionDrops.Add(1)
+			}
 			fe.releaseDueLocked(st, seq)
 			return nil // dropped by partition
 		}
@@ -262,7 +280,13 @@ func (fe *faultEndpoint) deliverLocked(dst int, m wireMsg, st *faultStream, seq,
 	switch {
 	case unit(faultHash(fe.plan.Seed, me, dst, m.Tag, seq, saltDrop)) < fe.plan.DropProb:
 		// Dropped: the message vanishes but still advances the counters.
+		if fe.plan.Stats != nil {
+			fe.plan.Stats.Drops.Add(1)
+		}
 	case unit(faultHash(fe.plan.Seed, me, dst, m.Tag, seq, saltDup)) < fe.plan.DupProb:
+		if fe.plan.Stats != nil {
+			fe.plan.Stats.Dups.Add(1)
+		}
 		if err := fe.inner.sendWorld(dst, m); err != nil {
 			return err
 		}
@@ -270,6 +294,9 @@ func (fe *faultEndpoint) deliverLocked(dst int, m wireMsg, st *faultStream, seq,
 			return err
 		}
 	case unit(faultHash(fe.plan.Seed, me, dst, m.Tag, seq, saltDelay)) < fe.plan.DelayProb:
+		if fe.plan.Stats != nil {
+			fe.plan.Stats.Delays.Add(1)
+		}
 		hold := 1 + int(faultHash(fe.plan.Seed, me, dst, m.Tag, seq, saltHold)%uint64(fe.plan.MaxDelayHold))
 		st.held = append(st.held, heldMsg{dst: dst, m: m, releaseAfter: seq + hold, heldAt: time.Now()})
 		fe.ensureFlusherLocked()
@@ -330,6 +357,9 @@ func (fe *faultEndpoint) flushAged() {
 // crashLocked kills the rank: held messages are discarded and every
 // subsequent operation fails. Caller holds fe.mu.
 func (fe *faultEndpoint) crashLocked() {
+	if fe.plan.Stats != nil {
+		fe.plan.Stats.Crashes.Add(1)
+	}
 	fe.crashed = true
 	for _, st := range fe.streams {
 		st.held = nil

@@ -1,12 +1,10 @@
 package serve
 
 import (
-	"fmt"
 	"io"
-	"math"
-	"sort"
-	"sync"
 	"time"
+
+	"cellgan/internal/telemetry"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the request-latency
@@ -23,163 +21,85 @@ var latencyBuckets = func() []float64 {
 // (requests coalesced per forward pass).
 var batchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
-// histogram is a fixed-bucket cumulative histogram.
-type histogram struct {
-	bounds []float64
-	counts []uint64 // one per bound, plus the +Inf bucket at the end
-	sum    float64
-	total  uint64
-	max    float64
-}
-
-func newHistogram(bounds []float64) *histogram {
-	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
-}
-
-func (h *histogram) observe(v float64) {
-	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i]++
-	h.sum += v
-	h.total++
-	if v > h.max {
-		h.max = v
-	}
-}
-
-// quantile returns an upper-bound estimate of the q-quantile from the
-// cumulative bucket counts.
-func (h *histogram) quantile(q float64) float64 {
-	if h.total == 0 {
-		return 0
-	}
-	target := uint64(math.Ceil(q * float64(h.total)))
-	if target == 0 {
-		target = 1
-	}
-	var cum uint64
-	for i, c := range h.counts {
-		cum += c
-		if cum >= target {
-			if i < len(h.bounds) {
-				return h.bounds[i]
-			}
-			return h.max
-		}
-	}
-	return h.max
-}
-
-// Metrics aggregates server-side counters for the /metrics endpoint. All
-// methods are safe for concurrent use.
+// Metrics aggregates server-side counters for the /metrics endpoint,
+// built on the shared telemetry registry. All methods are safe for
+// concurrent use; observations are lock-free atomics, so a slow scrape
+// reader can never stall the request hot path (the pre-telemetry
+// implementation held one mutex across both, which let a stalled
+// /metrics client block ObserveRequest and let the scrape-time
+// callbacks deadlock against engine locks).
 type Metrics struct {
-	mu        sync.Mutex
-	requests  uint64
-	errors    uint64
-	shed      uint64
-	samples   uint64
-	latency   *histogram
-	batchSize *histogram
-
-	// queueDepth reads the live engine queue depths at scrape time.
-	queueDepth func() int
-	models     func() int
+	reg       *telemetry.Registry
+	requests  *telemetry.Counter
+	errors    *telemetry.Counter
+	shed      *telemetry.Counter
+	samples   *telemetry.Counter
+	latency   *telemetry.Histogram
+	batchSize *telemetry.Histogram
 }
 
-// NewMetrics returns an empty metrics set.
+// NewMetrics returns an empty metrics set on a private registry.
 func NewMetrics() *Metrics {
+	reg := telemetry.NewRegistry()
 	return &Metrics{
-		latency:   newHistogram(latencyBuckets),
-		batchSize: newHistogram(batchBuckets),
+		reg:       reg,
+		requests:  reg.Counter("serve_requests_total", "Completed generate requests."),
+		errors:    reg.Counter("serve_request_errors_total", "Requests that failed."),
+		shed:      reg.Counter("serve_requests_shed_total", "Requests rejected with 429 (queue full)."),
+		samples:   reg.Counter("serve_samples_total", "Generated samples."),
+		latency:   reg.Histogram("serve_request_latency_seconds", "Request latency.", latencyBuckets),
+		batchSize: reg.Histogram("serve_batch_requests", "Requests coalesced per forward pass.", batchBuckets),
 	}
+}
+
+// Registry exposes the underlying telemetry registry so callers can
+// attach additional instruments or collectors to the same /metrics
+// exposition.
+func (m *Metrics) Registry() *telemetry.Registry { return m.reg }
+
+// setQueueDepth registers the live queue-depth gauge. The callback runs
+// at scrape time, outside every metrics lock, so it may take engine and
+// registry locks freely.
+func (m *Metrics) setQueueDepth(fn func() int) {
+	m.reg.GaugeFunc("serve_queue_depth", "Requests waiting in engine queues.",
+		func() float64 { return float64(fn()) })
+}
+
+// setModels registers the loaded-model-count gauge; same contract as
+// setQueueDepth.
+func (m *Metrics) setModels(fn func() int) {
+	m.reg.GaugeFunc("serve_models", "Loaded models.",
+		func() float64 { return float64(fn()) })
 }
 
 // ObserveRequest records one completed /generate request.
 func (m *Metrics) ObserveRequest(n int, d time.Duration, err error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.requests++
+	m.requests.Inc()
 	if err != nil {
-		m.errors++
+		m.errors.Inc()
 		return
 	}
-	m.samples += uint64(n)
-	m.latency.observe(d.Seconds())
+	m.samples.Add(uint64(n))
+	m.latency.Observe(d.Seconds())
 }
 
 // ObserveShed records one request rejected because the queue was full.
-func (m *Metrics) ObserveShed() {
-	m.mu.Lock()
-	m.shed++
-	m.mu.Unlock()
-}
+func (m *Metrics) ObserveShed() { m.shed.Inc() }
 
 // ObserveBatch records the size (coalesced requests) of one forward pass.
-func (m *Metrics) ObserveBatch(requests int) {
-	m.mu.Lock()
-	m.batchSize.observe(float64(requests))
-	m.mu.Unlock()
-}
+func (m *Metrics) ObserveBatch(requests int) { m.batchSize.Observe(float64(requests)) }
 
 // MaxBatch returns the largest observed batch (in coalesced requests).
-func (m *Metrics) MaxBatch() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return int(m.batchSize.max)
-}
+func (m *Metrics) MaxBatch() int { return int(m.batchSize.Max()) }
 
 // LatencyQuantile returns an upper-bound estimate of the q-quantile of
 // request latency in seconds.
-func (m *Metrics) LatencyQuantile(q float64) float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.latency.quantile(q)
-}
+func (m *Metrics) LatencyQuantile(q float64) float64 { return m.latency.Quantile(q) }
 
 // Requests returns the number of completed requests (including errors).
-func (m *Metrics) Requests() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.requests
-}
-
-// writeHistogram renders one histogram in the text exposition format.
-func writeHistogram(w io.Writer, name string, h *histogram) {
-	var cum uint64
-	for i, bound := range h.bounds {
-		cum += h.counts[i]
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmtBound(bound), cum)
-	}
-	cum += h.counts[len(h.bounds)]
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
-	fmt.Fprintf(w, "%s_count %d\n", name, h.total)
-	fmt.Fprintf(w, "%s_max %g\n", name, h.max)
-}
-
-func fmtBound(v float64) string { return fmt.Sprintf("%g", v) }
+func (m *Metrics) Requests() uint64 { return m.requests.Value() }
 
 // WriteText renders all metrics in a Prometheus-style text exposition.
-func (m *Metrics) WriteText(w io.Writer) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	fmt.Fprintf(w, "# HELP serve_requests_total Completed generate requests.\n")
-	fmt.Fprintf(w, "serve_requests_total %d\n", m.requests)
-	fmt.Fprintf(w, "# HELP serve_request_errors_total Requests that failed.\n")
-	fmt.Fprintf(w, "serve_request_errors_total %d\n", m.errors)
-	fmt.Fprintf(w, "# HELP serve_requests_shed_total Requests rejected with 429 (queue full).\n")
-	fmt.Fprintf(w, "serve_requests_shed_total %d\n", m.shed)
-	fmt.Fprintf(w, "# HELP serve_samples_total Generated samples.\n")
-	fmt.Fprintf(w, "serve_samples_total %d\n", m.samples)
-	fmt.Fprintf(w, "# HELP serve_request_latency_seconds Request latency.\n")
-	writeHistogram(w, "serve_request_latency_seconds", m.latency)
-	fmt.Fprintf(w, "# HELP serve_batch_requests Requests coalesced per forward pass.\n")
-	writeHistogram(w, "serve_batch_requests", m.batchSize)
-	if m.queueDepth != nil {
-		fmt.Fprintf(w, "# HELP serve_queue_depth Requests waiting in engine queues.\n")
-		fmt.Fprintf(w, "serve_queue_depth %d\n", m.queueDepth())
-	}
-	if m.models != nil {
-		fmt.Fprintf(w, "# HELP serve_models Loaded models.\n")
-		fmt.Fprintf(w, "serve_models %d\n", m.models())
-	}
-}
+// Values are read atomically and the queue-depth/model callbacks are
+// invoked without holding any lock.
+func (m *Metrics) WriteText(w io.Writer) { m.reg.WriteText(w) }

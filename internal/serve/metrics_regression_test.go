@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// gatedWriter blocks every Write until released, simulating a stalled
+// /metrics scrape client (slow network, dead TCP peer).
+type gatedWriter struct {
+	started chan struct{} // closed on first Write
+	release chan struct{} // Writes block until this closes
+	once    sync.Once
+	buf     bytes.Buffer
+}
+
+func newGatedWriter() *gatedWriter {
+	return &gatedWriter{started: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *gatedWriter) Write(p []byte) (int, error) {
+	g.once.Do(func() { close(g.started) })
+	<-g.release
+	return g.buf.Write(p)
+}
+
+// TestSlowScraperDoesNotBlockObserve is the regression test for the
+// WriteText locking bug: the old implementation held the metrics mutex
+// while writing to the scrape client, so a stalled reader blocked
+// ObserveRequest on the request hot path. With the telemetry-backed
+// metrics, observations are lock-free and must complete while a scrape
+// is wedged mid-write.
+func TestSlowScraperDoesNotBlockObserve(t *testing.T) {
+	m := NewMetrics()
+	m.ObserveRequest(1, time.Millisecond, nil) // something to render
+
+	gw := newGatedWriter()
+	var releaseOnce sync.Once
+	release := func() { releaseOnce.Do(func() { close(gw.release) }) }
+	defer release() // unwedge the scrape even on failure
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		m.WriteText(gw)
+	}()
+	<-gw.started // the scraper is now wedged mid-exposition
+
+	observed := make(chan struct{})
+	go func() {
+		defer close(observed)
+		for i := 0; i < 100; i++ {
+			m.ObserveRequest(2, time.Millisecond, nil)
+			m.ObserveShed()
+			m.ObserveBatch(4)
+		}
+	}()
+	select {
+	case <-observed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ObserveRequest blocked behind a stalled /metrics scrape")
+	}
+
+	// Release the scrape and check it still renders a full exposition.
+	release()
+	<-scrapeDone
+	if !strings.Contains(gw.buf.String(), "serve_requests_total") {
+		t.Fatalf("scrape output truncated:\n%s", gw.buf.String())
+	}
+}
+
+// TestMetricsCallbackReentrancy pins the second half of the fix: the
+// queue-depth/models callbacks run at scrape time and may themselves
+// read metrics (the engine/registry paths do exactly that through their
+// own locks). The old implementation invoked them under the metrics
+// mutex, so a callback touching the metrics deadlocked.
+func TestMetricsCallbackReentrancy(t *testing.T) {
+	m := NewMetrics()
+	m.setQueueDepth(func() int { return int(m.Requests()) })
+	m.setModels(func() int {
+		m.ObserveBatch(1) // writes from a callback must be safe too
+		return 1
+	})
+	m.ObserveRequest(1, time.Millisecond, nil)
+
+	done := make(chan struct{})
+	var out bytes.Buffer
+	go func() {
+		defer close(done)
+		m.WriteText(&out)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WriteText deadlocked on a re-entrant metrics callback")
+	}
+	if !strings.Contains(out.String(), "serve_queue_depth 1") {
+		t.Fatalf("queue depth callback value missing:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "serve_models 1") {
+		t.Fatalf("models callback value missing:\n%s", out.String())
+	}
+}
+
+// TestMetricsExpositionUnchanged pins the exact serving metric names and
+// line formats that existed before the telemetry migration, so scrape
+// dashboards keep working.
+func TestMetricsExpositionUnchanged(t *testing.T) {
+	m := NewMetrics()
+	m.setQueueDepth(func() int { return 3 })
+	m.setModels(func() int { return 2 })
+	m.ObserveRequest(5, 250*time.Millisecond, nil)
+	m.ObserveRequest(0, 0, io.ErrUnexpectedEOF)
+	m.ObserveShed()
+	m.ObserveBatch(8)
+
+	var b bytes.Buffer
+	m.WriteText(&b)
+	got := b.String()
+	for _, want := range []string{
+		"# HELP serve_requests_total Completed generate requests.\n",
+		"serve_requests_total 2\n",
+		"serve_request_errors_total 1\n",
+		"serve_requests_shed_total 1\n",
+		"serve_samples_total 5\n",
+		`serve_request_latency_seconds_bucket{le="0.0001"} 0` + "\n",
+		`serve_request_latency_seconds_bucket{le="+Inf"} 1` + "\n",
+		"serve_request_latency_seconds_sum 0.25\n",
+		"serve_request_latency_seconds_count 1\n",
+		"serve_request_latency_seconds_max 0.25\n",
+		`serve_batch_requests_bucket{le="8"} 1` + "\n",
+		"serve_batch_requests_max 8\n",
+		"serve_queue_depth 3\n",
+		"serve_models 2\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -34,8 +34,8 @@ func NewRegistry(cfg EngineConfig, metrics *Metrics) *Registry {
 		engines:  make(map[string]*Engine),
 		versions: make(map[string]uint64),
 	}
-	metrics.queueDepth = r.QueueDepth
-	metrics.models = r.Len
+	metrics.setQueueDepth(r.QueueDepth)
+	metrics.setModels(r.Len)
 	return r
 }
 

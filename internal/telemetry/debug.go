@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewDebugMux returns the debug endpoint mux: /metrics rendering the
+// registry, plus the standard net/http/pprof handlers under
+// /debug/pprof/. It deliberately avoids http.DefaultServeMux so
+// importing this package never publishes profiling endpoints on servers
+// that did not ask for them.
+func NewDebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartDebugServer listens on addr and serves the debug mux in a
+// background goroutine, returning the server (Close it to stop) and the
+// bound address (useful with a ":0" port). The debug server is advisory
+// instrumentation: serve errors after start are dropped, never fatal to
+// the training run it observes.
+func StartDebugServer(addr string, reg *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: NewDebugMux(reg), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // returns on Close
+	return srv, ln.Addr().String(), nil
+}

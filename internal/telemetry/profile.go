@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cellgan/internal/profile"
+)
+
+// AttachProfiler registers a scrape-time collector exposing a
+// profile.Profiler's per-routine accumulated timings (the paper's
+// Table IV rows) as labelled series:
+//
+//	<prefix>_profile_seconds_total{routine="train"} 1.52
+//	<prefix>_profile_calls_total{routine="train"} 200
+//
+// The profiler keeps its own locking; the snapshot is taken at scrape
+// time so mid-run scrapes see live Table-IV numbers instead of waiting
+// for the end-of-run report.
+func AttachProfiler(r *Registry, prefix string, p *profile.Profiler) {
+	if r == nil || p == nil {
+		return
+	}
+	secName := prefix + "_profile_seconds_total"
+	callName := prefix + "_profile_calls_total"
+	r.AddCollector(func(w io.Writer) {
+		snap := p.Snapshot()
+		routines := make([]string, 0, len(snap))
+		for k := range snap {
+			routines = append(routines, k)
+		}
+		sort.Strings(routines)
+		fmt.Fprintf(w, "# HELP %s Accumulated wall-clock seconds per training routine.\n", secName)
+		for _, k := range routines {
+			writeSeries(w, secName, fmt.Sprintf("routine=%q", k), fmtFloat(snap[k].Total.Seconds()))
+		}
+		fmt.Fprintf(w, "# HELP %s Recorded invocations per training routine.\n", callName)
+		for _, k := range routines {
+			writeSeries(w, callName, fmt.Sprintf("routine=%q", k), fmt.Sprintf("%d", snap[k].Count))
+		}
+	})
+}

@@ -1,0 +1,233 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// metricKind discriminates the registry entry types.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// metric is one registered time series.
+type metric struct {
+	name   string // base metric name
+	labels string // rendered label pairs, e.g. `cell="3"`, may be empty
+	help   string
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn atomic.Pointer[func() float64] // latest registration wins
+	hist    *Histogram
+}
+
+// Registry holds named instruments and renders them in the Prometheus
+// text exposition format. Registration (Counter, Gauge, ...) takes a
+// short lock; observations on the returned instruments are lock-free,
+// and WriteText copies the metric list under the lock but reads values
+// and invokes gauge callbacks outside it — a slow scrape reader or a
+// re-entrant callback can never stall an observation.
+//
+// All methods are safe for concurrent use. A nil *Registry is a valid
+// no-op sink: every lookup returns a nil instrument, whose methods are
+// themselves no-ops.
+type Registry struct {
+	mu         sync.Mutex
+	order      []*metric
+	byKey      map[string]*metric
+	collectors []func(io.Writer)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*metric)}
+}
+
+// register returns the existing entry for (name, labels) or inserts m.
+func (r *Registry) register(key string, m *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byKey[key]; ok {
+		if prev.kind != m.kind {
+			panic(fmt.Sprintf("telemetry: metric %s re-registered with a different kind", key))
+		}
+		return prev
+	}
+	r.byKey[key] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+func seriesKey(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Returns nil (a no-op counter) on a nil registry.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterL(name, "", help)
+}
+
+// CounterL is Counter with a rendered label set (e.g. `cell="3"`).
+func (r *Registry) CounterL(name, labels, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.register(seriesKey(name, labels),
+		&metric{name: name, labels: labels, help: help, kind: kindCounter, counter: &Counter{}})
+	return m.counter
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Returns nil (a no-op gauge) on a nil registry.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeL(name, "", help)
+}
+
+// GaugeL is Gauge with a rendered label set.
+func (r *Registry) GaugeL(name, labels, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.register(seriesKey(name, labels),
+		&metric{name: name, labels: labels, help: help, kind: kindGauge, gauge: &Gauge{}})
+	return m.gauge
+}
+
+// GaugeFunc registers a gauge whose value is read by calling fn at
+// scrape time. fn is invoked outside every registry and caller lock, so
+// it may itself read other metrics. Re-registering the same name swaps
+// in the new callback. No-op on a nil registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	m := r.register(seriesKey(name, ""),
+		&metric{name: name, help: help, kind: kindGaugeFunc})
+	m.gaugeFn.Store(&fn)
+}
+
+// Histogram returns the fixed-bucket histogram registered under name,
+// creating it with the given upper bounds on first use. Returns nil (a
+// no-op histogram) on a nil registry.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.HistogramL(name, "", help, bounds)
+}
+
+// HistogramL is Histogram with a rendered label set.
+func (r *Registry) HistogramL(name, labels, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.register(seriesKey(name, labels),
+		&metric{name: name, labels: labels, help: help, kind: kindHistogram, hist: NewHistogram(bounds)})
+	return m.hist
+}
+
+// AddCollector registers a scrape-time hook that appends raw exposition
+// text (derived metrics such as profiler snapshots). Collectors run
+// after the registered instruments, outside the registry lock.
+func (r *Registry) AddCollector(fn func(io.Writer)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// fmtFloat renders a float like fmt's %g (integers stay bare: 3 not 3.0).
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// writeSeries renders "name{labels} value\n" with optional labels.
+func writeSeries(w io.Writer, name, labels, value string) {
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, value)
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, labels, value)
+}
+
+// bucketLabels merges a series' labels with the le bucket label.
+func bucketLabels(labels, le string) string {
+	if labels == "" {
+		return `le="` + le + `"`
+	}
+	return labels + `,le="` + le + `"`
+}
+
+// writeHistogramText renders one histogram series in the exposition
+// format, including the non-standard _max line the serving metrics have
+// always exposed.
+func writeHistogramText(w io.Writer, name, labels string, s HistogramSnapshot) {
+	var cum uint64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		writeSeries(w, name+"_bucket", bucketLabels(labels, fmtFloat(bound)), strconv.FormatUint(cum, 10))
+	}
+	cum += s.Counts[len(s.Bounds)]
+	writeSeries(w, name+"_bucket", bucketLabels(labels, "+Inf"), strconv.FormatUint(cum, 10))
+	writeSeries(w, name+"_sum", labels, fmtFloat(s.Sum))
+	writeSeries(w, name+"_count", labels, strconv.FormatUint(s.Count, 10))
+	writeSeries(w, name+"_max", labels, fmtFloat(s.Max))
+}
+
+// WriteText renders every registered metric (registration order, HELP
+// emitted once per metric name) followed by the collectors. Values are
+// read atomically and gauge callbacks are invoked without holding any
+// lock, so scraping never blocks the instrumented hot paths.
+func (r *Registry) WriteText(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	metrics := make([]*metric, len(r.order))
+	copy(metrics, r.order)
+	collectors := make([]func(io.Writer), len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+
+	lastHelp := ""
+	for _, m := range metrics {
+		if m.help != "" && m.name != lastHelp {
+			fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
+			lastHelp = m.name
+		}
+		switch m.kind {
+		case kindCounter:
+			writeSeries(w, m.name, m.labels, strconv.FormatUint(m.counter.Value(), 10))
+		case kindGauge:
+			writeSeries(w, m.name, m.labels, fmtFloat(m.gauge.Value()))
+		case kindGaugeFunc:
+			writeSeries(w, m.name, m.labels, fmtFloat((*m.gaugeFn.Load())()))
+		case kindHistogram:
+			writeHistogramText(w, m.name, m.labels, m.hist.Snapshot())
+		}
+	}
+	for _, fn := range collectors {
+		fn(w)
+	}
+}
+
+// Handler returns an http.Handler serving the text exposition — the
+// /metrics endpoint of the debug server.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		r.WriteText(w)
+	})
+}

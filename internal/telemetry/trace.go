@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Field is one numeric key/value pair of a trace event.
+type Field struct {
+	Key string
+	Val float64
+}
+
+// F builds a Field.
+func F(key string, val float64) Field { return Field{Key: key, Val: val} }
+
+// Trace is an optional JSONL event sink: one JSON object per line, every
+// line keyed by the run seed so traces from different runs can be
+// concatenated and still separated afterwards. Events carry a
+// milliseconds-since-start timestamp and arbitrary numeric fields.
+//
+// All methods are safe for concurrent use and tolerate a nil receiver,
+// so call sites emit unconditionally and a disabled trace costs one nil
+// check.
+type Trace struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	closer io.Closer
+	seed   uint64
+	start  time.Time
+	buf    []byte
+}
+
+// NewTrace returns a trace writing to w, keyed by the run seed.
+func NewTrace(w io.Writer, seed uint64) *Trace {
+	return &Trace{w: bufio.NewWriter(w), seed: seed, start: time.Now()}
+}
+
+// OpenTraceFile creates (truncating) a trace file at path.
+func OpenTraceFile(path string, seed uint64) (*Trace, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTrace(f, seed)
+	t.closer = f
+	return t, nil
+}
+
+// appendJSONNumber renders v as a JSON number; NaN and infinities (not
+// representable in JSON) become null.
+func appendJSONNumber(b []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return append(b, "null"...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// Event appends one JSONL line: {"seed":…,"ms":…,"event":…,fields…}.
+// Safe on a nil receiver (no-op).
+func (t *Trace) Event(event string, fields ...Field) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.buf[:0]
+	b = append(b, `{"seed":`...)
+	b = strconv.AppendUint(b, t.seed, 10)
+	b = append(b, `,"ms":`...)
+	b = appendJSONNumber(b, float64(time.Since(t.start))/1e6)
+	b = append(b, `,"event":`...)
+	b = strconv.AppendQuote(b, event)
+	for _, f := range fields {
+		b = append(b, ',')
+		b = strconv.AppendQuote(b, f.Key)
+		b = append(b, ':')
+		b = appendJSONNumber(b, f.Val)
+	}
+	b = append(b, '}', '\n')
+	t.buf = b
+	t.w.Write(b) //nolint:errcheck // surfaced by Close/Flush
+}
+
+// Flush writes buffered events through to the underlying writer.
+func (t *Trace) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.w.Flush()
+}
+
+// Close flushes and, for file-backed traces, closes the file.
+func (t *Trace) Close() error {
+	if t == nil {
+		return nil
+	}
+	err := t.Flush()
+	if t.closer != nil {
+		if cerr := t.closer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
