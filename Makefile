@@ -1,7 +1,7 @@
 # make check mirrors .github/workflows/ci.yml for local runs.
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-smoke bench-json staticcheck
+.PHONY: check fmt vet build test race bench bench-smoke bench-json bench-serve staticcheck
 
 check: fmt vet build test race
 
@@ -18,11 +18,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrent packages (serving engine, message passing,
-# client-server exchange, checkpoint train-in-test helpers, telemetry
-# registry).
+# Race-check the concurrent packages (serving engine, gateway routing,
+# message passing, client-server exchange, checkpoint train-in-test
+# helpers, telemetry registry).
 race:
-	$(GO) test -race ./internal/serve/ ./internal/mpi/ ./internal/clientserver/ ./internal/checkpoint/ ./internal/telemetry/
+	$(GO) test -race ./internal/serve/ ./internal/gateway/ ./internal/mpi/ ./internal/clientserver/ ./internal/checkpoint/ ./internal/telemetry/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -46,3 +46,15 @@ bench-json:
 	$(GO) test -run=NoTests -bench=. -benchmem ./internal/tensor/ ./internal/nn/ \
 		| $(GO) run ./cmd/benchjson > BENCH_compute.json
 	@echo wrote BENCH_compute.json
+
+# Multi-process serving benchmark: train a small artifact, spawn a
+# 3-replica fleet behind the gateway, and archive aggregate QPS and
+# latency percentiles as machine-readable JSON.
+BENCH_MIX ?= /tmp/cellgan-bench.mix
+bench-serve:
+	$(GO) run ./cmd/trainer -iterations 4 -dataset 1000 -batches 4 -eval=false \
+		-export-mixture $(BENCH_MIX)
+	$(GO) run ./cmd/gateway -loadtest -model digits=$(BENCH_MIX) \
+		-replica-count 3 -clients 32 -requests 2048 -n 4 \
+		| $(GO) run ./cmd/benchjson > BENCH_serve.json
+	@echo wrote BENCH_serve.json

@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"cellgan/internal/checkpoint"
 	"cellgan/internal/report"
 	"cellgan/internal/serve"
 	"cellgan/internal/telemetry"
@@ -40,6 +41,7 @@ func main() {
 	batchWait := flag.Duration("batch-wait", 2*time.Millisecond, "how long a worker waits to coalesce more requests")
 	timeout := flag.Duration("timeout", serve.DefaultRequestTimeout, "per-request timeout")
 	seed := flag.Uint64("seed", 1, "latent-sampling seed")
+	shard := flag.String("shard", "", "serve only shard i/n of each mixture, e.g. 0/3 (weights renormalized)")
 	loadtest := flag.Bool("loadtest", false, "run an in-process load test instead of serving")
 	clients := flag.Int("clients", 32, "loadtest: concurrent clients")
 	requests := flag.Int("requests", 1024, "loadtest: total requests")
@@ -58,6 +60,12 @@ func main() {
 		BatchWait:       *batchWait,
 		Seed:            *seed,
 	}
+	shardIdx, shardOf, err := parseShard(*shard)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(2)
+	}
+
 	reg := serve.NewRegistry(ecfg, nil)
 	for _, spec := range strings.Split(*models, ",") {
 		name, path, ok := strings.Cut(strings.TrimSpace(spec), "=")
@@ -65,14 +73,31 @@ func main() {
 			fmt.Fprintf(os.Stderr, "serve: bad -model entry %q (want name=path)\n", spec)
 			os.Exit(2)
 		}
-		if err := reg.LoadFile(name, path); err != nil {
+		a, err := checkpoint.LoadMixtureFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		total := len(a.Ranks)
+		if shardOf > 1 {
+			if a, err = checkpoint.ShardMixture(a, shardIdx, shardOf); err != nil {
+				fmt.Fprintln(os.Stderr, "serve:", err)
+				os.Exit(1)
+			}
+		}
+		if err := reg.Load(name, a); err != nil {
 			fmt.Fprintln(os.Stderr, "serve:", err)
 			os.Exit(1)
 		}
 		e, _ := reg.Engine(name)
 		m := e.Model()
-		fmt.Printf("loaded %s from %s: %d-member mixture, latent %d → output %d\n",
-			name, path, len(m.Artifact.Ranks), m.LatentDim, m.OutputDim)
+		if shardOf > 1 {
+			fmt.Printf("loaded %s from %s: shard %d/%d holds %d of %d members, latent %d → output %d\n",
+				name, path, shardIdx, shardOf, len(m.Artifact.Ranks), total, m.LatentDim, m.OutputDim)
+		} else {
+			fmt.Printf("loaded %s from %s: %d-member mixture, latent %d → output %d\n",
+				name, path, len(m.Artifact.Ranks), m.LatentDim, m.OutputDim)
+		}
 	}
 
 	if *debugAddr != "" {
@@ -124,6 +149,18 @@ func main() {
 	}
 	<-done
 	fmt.Println("serve: drained, bye")
+}
+
+// parseShard parses an "i/n" shard spec; "" means no sharding (0, 1).
+func parseShard(s string) (idx, of int, err error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	var i, n int
+	if _, err := fmt.Sscanf(s, "%d/%d", &i, &n); err != nil || n < 1 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("bad -shard %q (want i/n with 0 <= i < n)", s)
+	}
+	return i, n, nil
 }
 
 // runLoadTest drives the server over loopback and prints a latency and

@@ -1,0 +1,198 @@
+// Multi-node serving: one gateway fronting a sharded replica fleet.
+// This example closes the distributed half of the serving story: train a
+// small grid, export the best cell's mixture, split it into three shards
+// (replica i holds members i, i+3, ... with weights renormalized), stand
+// three replica servers up on loopback, and route traffic through the
+// gateway — then kill a replica mid-traffic to show health-driven
+// ejection and retry keeping clients whole, bring it back to show
+// readmission, and finally hot-reload the full mixture across the fleet
+// with the deployer.
+//
+// Run with: go run ./examples/multinode
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"cellgan/internal/checkpoint"
+	"cellgan/internal/config"
+	"cellgan/internal/core"
+	"cellgan/internal/gateway"
+	"cellgan/internal/serve"
+)
+
+// replica is one in-process serve node: registry + HTTP server, with
+// enough handle kept around to kill and restart it on the same address.
+type replica struct {
+	reg  *serve.Registry
+	srv  *http.Server
+	addr string
+}
+
+func startReplica(reg *serve.Registry, addr string) (*replica, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: serve.NewServer(reg, 10*time.Second)}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return &replica{reg: reg, srv: srv, addr: ln.Addr().String()}, nil
+}
+
+func main() {
+	const shards = 3
+
+	cfg := config.Default()
+	cfg.GridRows, cfg.GridCols = 2, 2
+	cfg.Iterations = 6
+	cfg.BatchesPerIteration = 4
+	cfg.DatasetSize = 1000
+	cfg.NeuronsPerHidden = 64
+	cfg.InputNeurons = 32
+
+	fmt.Println("training a 2×2 grid...")
+	res, err := core.RunSequential(cfg, core.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	artifact, err := checkpoint.ExportMixture(res, res.BestRank)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fullHash, _ := checkpoint.HashMixture(artifact)
+	fmt.Printf("exported best cell %d: %d-generator mixture, hash %.12s\n",
+		res.BestRank, len(artifact.Ranks), fullHash)
+
+	// Shard the mixture across the fleet: replica i serves members
+	// i, i+3, ... with weights renormalized — the serving analogue of
+	// spreading the cellular grid across training nodes.
+	replicas := make([]*replica, shards)
+	urls := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		sh, err := checkpoint.ShardMixture(artifact, i, shards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reg := serve.NewRegistry(serve.EngineConfig{Workers: 2, Seed: uint64(i + 1)}, nil)
+		if err := reg.Load("digits", sh); err != nil {
+			log.Fatal(err)
+		}
+		if replicas[i], err = startReplica(reg, "127.0.0.1:0"); err != nil {
+			log.Fatal(err)
+		}
+		urls[i] = "http://" + replicas[i].addr
+		fmt.Printf("replica %d on %s: %d of %d members\n", i, urls[i], len(sh.Ranks), len(artifact.Ranks))
+	}
+
+	// The gateway: consistent-hash routing, strike-based ejection after 2
+	// failures, readmission after 2 clean probes, hedging on.
+	g, err := gateway.New(gateway.Options{
+		Replicas:           urls,
+		Table:              gateway.TableOptions{StrikeLimit: 2, ReadmitSuccesses: 2},
+		RetryBackoff:       2 * time.Millisecond,
+		HedgeBudgetPercent: 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g.Start()
+	defer g.Stop()
+	gln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	gsrv := &http.Server{Handler: g}
+	go gsrv.Serve(gln) //nolint:errcheck
+	defer gsrv.Close()
+	url := "http://" + gln.Addr().String()
+	fmt.Println("gateway on", url)
+
+	post := func() (*serve.GenerateResponse, error) {
+		body, _ := json.Marshal(serve.GenerateRequest{Model: "digits", N: 1})
+		resp, err := http.Post(url+"/v1/generate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("HTTP %d", resp.StatusCode)
+		}
+		var out serve.GenerateResponse
+		return &out, json.NewDecoder(resp.Body).Decode(&out)
+	}
+	burst := func(n int) int {
+		ok := 0
+		for i := 0; i < n; i++ {
+			if _, err := post(); err == nil {
+				ok++
+			}
+		}
+		return ok
+	}
+
+	fmt.Printf("\nburst of 30 requests: %d/30 ok\n", burst(30))
+
+	// Kill replica 1. The gateway retries its keys onto neighbours, so
+	// clients stay whole; health probes then eject it from routing.
+	fmt.Println("\nkilling replica 1...")
+	replicas[1].srv.Close()
+	fmt.Printf("burst with a dead replica: %d/30 ok (retries route around it)\n", burst(30))
+	g.Table().ProbeAll()
+	g.Table().ProbeAll()
+	for _, info := range g.Table().Info() {
+		fmt.Printf("replica %d: %s\n", info.Index, info.State)
+	}
+
+	// Bring it back on the same address: two clean probes readmit it.
+	fmt.Println("\nrestarting replica 1...")
+	if replicas[1], err = startReplica(replicas[1].reg, replicas[1].addr); err != nil {
+		log.Fatal(err)
+	}
+	g.Table().ProbeAll()
+	g.Table().ProbeAll()
+	for _, info := range g.Table().Info() {
+		fmt.Printf("replica %d: %s\n", info.Index, info.State)
+	}
+
+	// Continuous deployment: drop the full mixture where the deployer
+	// watches and it rolls replica by replica, flipping traffic only once
+	// each replica reports the new content hash healthy.
+	dir, err := os.MkdirTemp("", "cellgan-multinode")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "full.mix")
+	if err := checkpoint.SaveMixtureFile(path, artifact); err != nil {
+		log.Fatal(err)
+	}
+	d, err := gateway.NewDeployer(gateway.DeployOptions{Path: path, Model: "digits"}, g.Table(), g.Metrics())
+	if err != nil {
+		log.Fatal(err)
+	}
+	updated, err := d.CheckOnce(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := post()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhot-reloaded full mixture onto %d replicas; serving hash %.12s (want %.12s)\n",
+		updated, out.Hash, fullHash)
+
+	for _, r := range replicas {
+		r.srv.Close()
+		r.reg.Close()
+	}
+	fmt.Println("fleet stopped")
+}

@@ -2,7 +2,9 @@ package checkpoint
 
 import (
 	"bufio"
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"math"
@@ -115,6 +117,67 @@ func (a *MixtureArtifact) Mixture() (*core.Mixture, error) {
 // LatentDim returns the generator latent dimension serving callers must
 // sample from.
 func (a *MixtureArtifact) LatentDim() int { return a.Cfg.InputNeurons }
+
+// HashMixture returns the hex sha256 of the artifact's serialised form.
+// The wire format is deterministic, so the hash of an artifact loaded
+// from a file equals the hash of the raw file bytes (HashMixtureBytes) —
+// serving replicas and the deploying gateway can compare model identity
+// across processes by this string alone.
+func HashMixture(a *MixtureArtifact) (string, error) {
+	h := sha256.New()
+	if err := WriteMixture(h, a); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// HashMixtureBytes hashes an already-serialised artifact (e.g. a .mix
+// file's contents) to the same string HashMixture produces for the
+// decoded form.
+func HashMixtureBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// ShardMixture slices the artifact into sub-mixture `shard` of `of`:
+// member i is assigned to shard i%of, and the surviving weights are
+// renormalised to sum to one. Replicas behind the serving gateway each
+// load one shard, so the trained ensemble is distributed across the
+// serving tier the way the cells were distributed across the training
+// grid. of=1 returns a full copy.
+func ShardMixture(a *MixtureArtifact, shard, of int) (*MixtureArtifact, error) {
+	if of <= 0 || shard < 0 || shard >= of {
+		return nil, fmt.Errorf("checkpoint: shard %d/%d out of range", shard, of)
+	}
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	if of > len(a.Ranks) {
+		return nil, fmt.Errorf("checkpoint: cannot cut %d shards from a %d-member mixture", of, len(a.Ranks))
+	}
+	out := &MixtureArtifact{Cfg: a.Cfg}
+	total := 0.0
+	for i := range a.Ranks {
+		if i%of != shard {
+			continue
+		}
+		out.Ranks = append(out.Ranks, a.Ranks[i])
+		out.Weights = append(out.Weights, a.Weights[i])
+		out.GenParams = append(out.GenParams, append([]byte(nil), a.GenParams[i]...))
+		total += a.Weights[i]
+	}
+	if total > 0 {
+		for i := range out.Weights {
+			out.Weights[i] /= total
+		}
+	} else {
+		// Degenerate zero-weight shard: serve the members uniformly.
+		for i := range out.Weights {
+			out.Weights[i] = 1 / float64(len(out.Weights))
+		}
+	}
+	return out, nil
+}
 
 // WriteMixture serialises the artifact.
 func WriteMixture(w io.Writer, a *MixtureArtifact) error {

@@ -117,6 +117,97 @@ func TestReadMixtureRejectsCorruptStreams(t *testing.T) {
 	}
 }
 
+func TestHashMixtureMatchesBytesAndIsStable(t *testing.T) {
+	_, a := trainedArtifact(t)
+	h1, err := HashMixture(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := HashMixture(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("hash not stable: %s vs %s", h1, h2)
+	}
+	var buf bytes.Buffer
+	if err := WriteMixture(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	if hb := HashMixtureBytes(buf.Bytes()); hb != h1 {
+		t.Fatalf("byte hash %s != artifact hash %s", hb, h1)
+	}
+	// Any parameter perturbation must change the hash.
+	b := *a
+	b.GenParams = append([][]byte(nil), a.GenParams...)
+	b.GenParams[0] = append([]byte(nil), a.GenParams[0]...)
+	b.GenParams[0][0] ^= 0x01
+	hm, err := HashMixture(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hm == h1 {
+		t.Fatal("hash insensitive to parameter change")
+	}
+}
+
+func TestShardMixture(t *testing.T) {
+	_, a := trainedArtifact(t)
+	if len(a.Ranks) < 2 {
+		t.Skipf("mixture too small to shard: %d members", len(a.Ranks))
+	}
+	of := 2
+	seen := make(map[int]bool)
+	totalMembers := 0
+	for s := 0; s < of; s++ {
+		sh, err := ShardMixture(a, s, of)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sh.Ranks) == 0 {
+			t.Fatalf("shard %d is empty", s)
+		}
+		sum := 0.0
+		for _, w := range sh.Weights {
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("shard %d weights sum %g, want 1", s, sum)
+		}
+		for _, r := range sh.Ranks {
+			if seen[r] {
+				t.Fatalf("rank %d appears in two shards", r)
+			}
+			seen[r] = true
+		}
+		totalMembers += len(sh.Ranks)
+		// A shard must itself be a loadable, sampleable artifact.
+		if _, err := sh.Mixture(); err != nil {
+			t.Fatalf("shard %d does not rebuild: %v", s, err)
+		}
+	}
+	if totalMembers != len(a.Ranks) {
+		t.Fatalf("shards cover %d members, mixture has %d", totalMembers, len(a.Ranks))
+	}
+
+	if _, err := ShardMixture(a, 2, 2); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	if _, err := ShardMixture(a, 0, 0); err == nil {
+		t.Fatal("zero shard count accepted")
+	}
+	if _, err := ShardMixture(a, 0, len(a.Ranks)+1); err == nil {
+		t.Fatal("more shards than members accepted")
+	}
+	full, err := ShardMixture(a, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Ranks) != len(a.Ranks) {
+		t.Fatalf("1-shard copy has %d members, want %d", len(full.Ranks), len(a.Ranks))
+	}
+}
+
 func TestExportMixtureValidation(t *testing.T) {
 	res, _ := trainedArtifact(t)
 	if _, err := ExportMixture(res, -1); err == nil {

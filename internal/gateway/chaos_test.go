@@ -1,0 +1,159 @@
+package gateway
+
+import (
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"cellgan/internal/serve"
+)
+
+// TestChaosKillAndReadmitUnderLoad is the gateway acceptance test, in
+// the FaultyComm tradition: a seeded schedule decides which replica dies
+// and when. One gateway fronts three replicas under a concurrent load
+// burst; mid-burst the victim is killed. The client must see zero failed
+// requests (retries route around the corpse), the victim must be ejected
+// by strikes, and once revived it must be readmitted after the
+// configured number of clean probes and serve traffic again.
+func TestChaosKillAndReadmitUnderLoad(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		seed := seed
+		t.Run("seed="+strconv.FormatInt(seed, 10), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			reps := startReplicas(t, 3)
+			g, ts := newTestGateway(t, reps, Options{
+				Table:              TableOptions{StrikeLimit: 2, ReadmitSuccesses: 2},
+				HedgeBudgetPercent: 0, // isolate the retry/eject path
+				RetryBackoff:       2 * time.Millisecond,
+			})
+
+			victim := rng.Intn(len(reps))
+			killAfter := 50 + rng.Intn(100) // kill point, in completed requests
+
+			const (
+				clients  = 6
+				requests = 300
+			)
+			var (
+				wg        sync.WaitGroup
+				completed int
+				failures  int
+				mu        sync.Mutex
+			)
+			next := make(chan int, requests)
+			for i := 0; i < requests; i++ {
+				next <- i
+			}
+			close(next)
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for range next {
+						code, out := postGenerate(t, ts.URL, serve.GenerateRequest{Model: "digits", N: 1}, "")
+						mu.Lock()
+						if code != http.StatusOK || len(out.Samples) != 1 {
+							failures++
+						}
+						completed++
+						if completed == killAfter {
+							reps[victim].Kill()
+						}
+						mu.Unlock()
+					}
+				}()
+			}
+			wg.Wait()
+
+			if failures != 0 {
+				t.Fatalf("%d client-visible failures during the kill (victim %d, killAfter %d)",
+					failures, victim, killAfter)
+			}
+
+			// Drive probes until the strike limit ejects the victim.
+			for i := 0; i < 3; i++ {
+				g.Table().ProbeAll()
+			}
+			if reps[victim].down.Load() && g.Table().Replicas()[victim].Routable() {
+				t.Fatal("dead victim still routable after probes")
+			}
+			text := scrapeMetrics(t, ts.URL)
+			ejectSeries := `gateway_replica_ejections_total{replica="` + strconv.Itoa(victim) + `"}`
+			if got := metricValue(t, text, ejectSeries); got < 1 {
+				t.Fatalf("%s = %g, want >= 1", ejectSeries, got)
+			}
+			if got := metricValue(t, text, "gateway_request_errors_total"); got != 0 {
+				t.Fatalf("gateway_request_errors_total = %g", got)
+			}
+			if got := metricValue(t, text, "gateway_retries_total"); got < 1 {
+				t.Fatalf("gateway_retries_total = %g, want >= 1 (the kill must have been routed around)", got)
+			}
+
+			// Traffic keeps flowing with the victim ejected.
+			for i := 0; i < 20; i++ {
+				if code, _ := postGenerate(t, ts.URL, serve.GenerateRequest{Model: "digits", N: 1}, ""); code != http.StatusOK {
+					t.Fatalf("request with ejected replica failed: %d", code)
+				}
+			}
+
+			// Revive; after ReadmitSuccesses clean probes the victim is
+			// routable again and the readmission counter moves.
+			reps[victim].Revive()
+			g.Table().ProbeAll()
+			if g.Table().Replicas()[victim].Routable() {
+				t.Fatal("victim readmitted after a single clean probe, want 2")
+			}
+			g.Table().ProbeAll()
+			if !g.Table().Replicas()[victim].Routable() {
+				t.Fatal("victim not readmitted after clean probes")
+			}
+			text = scrapeMetrics(t, ts.URL)
+			readmitSeries := `gateway_replica_readmissions_total{replica="` + strconv.Itoa(victim) + `"}`
+			if got := metricValue(t, text, readmitSeries); got < 1 {
+				t.Fatalf("%s = %g, want >= 1", readmitSeries, got)
+			}
+
+			// The readmitted replica serves traffic again: pin a key whose
+			// primary is the victim and confirm its forward counter moves.
+			ring := NewRing(len(reps), g.opts.VirtualNodes)
+			key := ""
+			for i := 0; ; i++ {
+				k := "readmit-" + strconv.Itoa(i)
+				if seq := ring.Sequence(nil, "digits#"+k); seq[0] == victim {
+					key = k
+					break
+				}
+			}
+			before := metricValue(t, text, `gateway_replica_forwards_total{replica="`+strconv.Itoa(victim)+`"}`)
+			if code, _ := postGenerate(t, ts.URL, serve.GenerateRequest{Model: "digits", N: 1}, key); code != http.StatusOK {
+				t.Fatalf("post-readmission request failed: %d", code)
+			}
+			after := metricValue(t, scrapeMetrics(t, ts.URL),
+				`gateway_replica_forwards_total{replica="`+strconv.Itoa(victim)+`"}`)
+			if after != before+1 {
+				t.Fatalf("readmitted replica got no traffic: forwards %g → %g", before, after)
+			}
+		})
+	}
+}
+
+// TestAllReplicasDeadSurfacesError: when the whole fleet is gone the
+// gateway reports 502 (after exhausting retries) rather than hanging.
+func TestAllReplicasDeadSurfacesError(t *testing.T) {
+	reps := startReplicas(t, 2)
+	_, ts := newTestGateway(t, reps, Options{
+		RetryBackoff:       time.Millisecond,
+		RequestTimeout:     5 * time.Second,
+		HedgeBudgetPercent: 0,
+	})
+	for _, r := range reps {
+		r.Kill()
+	}
+	code, _ := postGenerate(t, ts.URL, serve.GenerateRequest{Model: "digits", N: 1}, "")
+	if code != http.StatusBadGateway {
+		t.Fatalf("dead fleet returned %d, want 502", code)
+	}
+}

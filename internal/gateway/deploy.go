@@ -1,0 +1,206 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"cellgan/internal/checkpoint"
+	"cellgan/internal/serve"
+)
+
+// DeployOptions configures the continuous train→serve deployment loop.
+type DeployOptions struct {
+	// Path is the mixture artifact file to watch (e.g. the target of
+	// trainer -export-mixture, rewritten at checkpoint boundaries).
+	Path string
+	// Model is the registry name the artifact is served under. Required.
+	Model string
+	// Interval is the file poll period (default 1 s).
+	Interval time.Duration
+	// ConfirmTimeout bounds how long the deployer waits for a replica to
+	// report the new artifact healthy before counting the push failed
+	// (default 10 s).
+	ConfirmTimeout time.Duration
+	// PushTimeout bounds the /v1/reload POST itself (default 30 s).
+	PushTimeout time.Duration
+}
+
+func (o DeployOptions) withDefaults() DeployOptions {
+	if o.Interval <= 0 {
+		o.Interval = time.Second
+	}
+	if o.ConfirmTimeout <= 0 {
+		o.ConfirmTimeout = 10 * time.Second
+	}
+	if o.PushTimeout <= 0 {
+		o.PushTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// Deployer watches a mixture artifact file and rolls it out across the
+// replica table: each replica gets the artifact pushed over /v1/reload,
+// then must report the new content hash healthy on /healthz before the
+// deployer moves on — traffic only ever flips to a model a replica has
+// proven it serves. Replicas are updated one at a time, so the rest of
+// the fleet keeps serving the previous version throughout; a replica
+// that is down during a rollout is caught up automatically on a later
+// poll once it returns.
+type Deployer struct {
+	opts    DeployOptions
+	table   *Table
+	metrics *Metrics
+	client  *http.Client
+
+	mu      sync.Mutex
+	applied map[int]string // replica index → last confirmed artifact hash
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewDeployer builds a deployer over the gateway's replica table.
+func NewDeployer(opts DeployOptions, table *Table, metrics *Metrics) (*Deployer, error) {
+	if opts.Path == "" || opts.Model == "" {
+		return nil, fmt.Errorf("gateway: deployer needs an artifact path and a model name")
+	}
+	opts = opts.withDefaults()
+	return &Deployer{
+		opts:    opts,
+		table:   table,
+		metrics: metrics,
+		client:  &http.Client{Timeout: opts.PushTimeout},
+		applied: make(map[int]string),
+		stop:    make(chan struct{}),
+	}, nil
+}
+
+// Start launches the background watch loop.
+func (d *Deployer) Start() {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		ticker := time.NewTicker(d.opts.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				ctx, cancel := context.WithTimeout(context.Background(), d.opts.ConfirmTimeout+d.opts.PushTimeout)
+				d.CheckOnce(ctx)
+				cancel()
+			case <-d.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the watch loop.
+func (d *Deployer) Stop() {
+	d.stopOnce.Do(func() { close(d.stop) })
+	d.wg.Wait()
+}
+
+// CheckOnce reads the watched artifact and pushes it to every replica
+// whose confirmed hash differs. Returns the number of replicas updated
+// and the first error encountered (later replicas are still attempted).
+// Exposed so tests and the CLI can drive deterministic rollouts.
+func (d *Deployer) CheckOnce(ctx context.Context) (updated int, err error) {
+	data, readErr := os.ReadFile(d.opts.Path)
+	if readErr != nil {
+		if os.IsNotExist(readErr) {
+			return 0, nil // nothing exported yet; keep watching
+		}
+		return 0, readErr
+	}
+	// Refuse to push bytes that do not decode — a torn write (the
+	// exporter writes temp+rename, but guard anyway) must not take down
+	// the fleet's reload path.
+	if _, decErr := checkpoint.ReadMixture(bytes.NewReader(data)); decErr != nil {
+		return 0, fmt.Errorf("gateway: artifact %s does not decode: %w", d.opts.Path, decErr)
+	}
+	hash := checkpoint.HashMixtureBytes(data)
+
+	for _, rep := range d.table.Replicas() {
+		if d.appliedHash(rep.index) == hash {
+			continue
+		}
+		if pushErr := d.pushAndConfirm(ctx, rep, data, hash); pushErr != nil {
+			d.metrics.reloadFails.Inc()
+			if err == nil {
+				err = fmt.Errorf("replica %s: %w", rep.URL, pushErr)
+			}
+			continue
+		}
+		d.setApplied(rep.index, hash)
+		d.metrics.reloads.Inc()
+		updated++
+	}
+	return updated, err
+}
+
+func (d *Deployer) appliedHash(idx int) string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.applied[idx]
+}
+
+func (d *Deployer) setApplied(idx int, hash string) {
+	d.mu.Lock()
+	d.applied[idx] = hash
+	d.mu.Unlock()
+}
+
+// pushAndConfirm POSTs the artifact to one replica's /v1/reload and then
+// polls its /healthz until the replica reports the new hash healthy.
+func (d *Deployer) pushAndConfirm(ctx context.Context, rep *Replica, data []byte, hash string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		rep.URL+"/v1/reload?model="+d.opts.Model, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("reload returned HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var rr serve.ReloadResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		return fmt.Errorf("decoding reload response: %w", err)
+	}
+	if rr.Hash != hash {
+		return fmt.Errorf("replica loaded hash %.12s, pushed %.12s", rr.Hash, hash)
+	}
+
+	// The flip is only counted once the replica's own health report
+	// carries the new identity — "the model is loaded" is claimed by the
+	// reload response, "the model is healthy and serving" only by
+	// /healthz.
+	deadline := time.Now().Add(d.opts.ConfirmTimeout)
+	for {
+		d.table.Probe(rep)
+		if st, ok := rep.ModelStatus(d.opts.Model); ok && st.Hash == hash && rep.Routable() {
+			return nil
+		}
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			return fmt.Errorf("replica never reported hash %.12s healthy", hash)
+		}
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+		}
+	}
+}

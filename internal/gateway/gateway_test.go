@@ -1,0 +1,459 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cellgan/internal/checkpoint"
+	"cellgan/internal/config"
+	"cellgan/internal/core"
+	"cellgan/internal/serve"
+)
+
+// trainedArtifact trains a small 2×2 grid once per test binary and
+// returns the exported best-cell mixture artifact.
+var artifactOnce struct {
+	sync.Once
+	a   *checkpoint.MixtureArtifact
+	err error
+}
+
+func trainedArtifact(tb testing.TB) *checkpoint.MixtureArtifact {
+	tb.Helper()
+	artifactOnce.Do(func() {
+		cfg := config.Default().Scaled(2, 8, 100)
+		res, err := core.RunSequential(cfg, core.RunOptions{})
+		if err != nil {
+			artifactOnce.err = err
+			return
+		}
+		artifactOnce.a, artifactOnce.err = checkpoint.ExportMixture(res, res.BestRank)
+	})
+	if artifactOnce.err != nil {
+		tb.Fatal(artifactOnce.err)
+	}
+	return artifactOnce.a
+}
+
+func artifactHash(tb testing.TB, a *checkpoint.MixtureArtifact) string {
+	tb.Helper()
+	h, err := checkpoint.HashMixture(a)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return h
+}
+
+// chaosReplica is one in-process serve replica whose failure modes the
+// tests control deterministically: Kill makes every connection die
+// mid-request (the client sees a transport error, exactly like a crashed
+// process), Revive restores it, and Delay slows /v1/generate to trigger
+// hedging.
+type chaosReplica struct {
+	reg     *serve.Registry
+	handler http.Handler
+	srv     *httptest.Server
+	down    atomic.Bool
+	delay   atomic.Int64 // nanoseconds added to generate requests
+}
+
+func (c *chaosReplica) Kill()                     { c.down.Store(true) }
+func (c *chaosReplica) Revive()                   { c.down.Store(false) }
+func (c *chaosReplica) Delay(d time.Duration)     { c.delay.Store(int64(d)) }
+func (c *chaosReplica) URL() string               { return c.srv.URL }
+func (c *chaosReplica) Registry() *serve.Registry { return c.reg }
+
+func (c *chaosReplica) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if c.down.Load() {
+		// Abort the connection without a response: the client observes a
+		// transport-level failure, indistinguishable from a dead process.
+		panic(http.ErrAbortHandler)
+	}
+	if d := c.delay.Load(); d > 0 && r.URL.Path == "/v1/generate" {
+		time.Sleep(time.Duration(d))
+	}
+	c.handler.ServeHTTP(w, r)
+}
+
+// startReplicas stands up n chaos replicas all serving the trained
+// artifact as "digits".
+func startReplicas(tb testing.TB, n int) []*chaosReplica {
+	tb.Helper()
+	a := trainedArtifact(tb)
+	reps := make([]*chaosReplica, n)
+	for i := range reps {
+		reg := serve.NewRegistry(serve.EngineConfig{Workers: 2, QueueSize: 1024, Seed: uint64(i + 1)}, nil)
+		if err := reg.Load("digits", a); err != nil {
+			tb.Fatal(err)
+		}
+		c := &chaosReplica{reg: reg, handler: serve.NewServer(reg, 30*time.Second)}
+		c.srv = httptest.NewServer(c)
+		reps[i] = c
+		tb.Cleanup(func() {
+			c.srv.Close()
+			reg.Close()
+		})
+	}
+	return reps
+}
+
+func replicaURLs(reps []*chaosReplica) []string {
+	urls := make([]string, len(reps))
+	for i, r := range reps {
+		urls[i] = r.URL()
+	}
+	return urls
+}
+
+// newTestGateway builds a gateway over the replicas and serves it on
+// loopback. The background prober is NOT started: tests drive probes
+// explicitly via Table().ProbeAll() for determinism.
+func newTestGateway(tb testing.TB, reps []*chaosReplica, opts Options) (*Gateway, *httptest.Server) {
+	tb.Helper()
+	opts.Replicas = replicaURLs(reps)
+	g, err := New(opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ts := httptest.NewServer(g)
+	tb.Cleanup(func() {
+		ts.Close()
+		g.Stop()
+	})
+	g.Table().ProbeAll()
+	return g, ts
+}
+
+// postGenerate sends one generate request through url and decodes it.
+func postGenerate(tb testing.TB, url string, req serve.GenerateRequest, routeKey string) (int, *serve.GenerateResponse) {
+	tb.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, url+"/v1/generate", bytes.NewReader(body))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if routeKey != "" {
+		hreq.Header.Set(RouteKeyHeader, routeKey)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil
+	}
+	var out serve.GenerateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		tb.Fatal(err)
+	}
+	return resp.StatusCode, &out
+}
+
+// metricValue extracts one scalar series from a /metrics exposition.
+func metricValue(tb testing.TB, text, series string) float64 {
+	tb.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(series) + ` (\S+)$`)
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		tb.Fatalf("series %s not found in exposition:\n%s", series, text)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return v
+}
+
+func scrapeMetrics(tb testing.TB, url string) string {
+	tb.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return string(text)
+}
+
+// sumReplicaSeries totals a per-replica labelled counter across indices.
+func sumReplicaSeries(tb testing.TB, text, name string, n int) float64 {
+	tb.Helper()
+	total := 0.0
+	for i := 0; i < n; i++ {
+		series := name + `{replica="` + strconv.Itoa(i) + `"}`
+		total += metricValue(tb, text, series)
+	}
+	return total
+}
+
+func TestGatewayRoutesAcrossReplicas(t *testing.T) {
+	reps := startReplicas(t, 3)
+	g, ts := newTestGateway(t, reps, Options{})
+
+	const requests = 30
+	for i := 0; i < requests; i++ {
+		code, out := postGenerate(t, ts.URL, serve.GenerateRequest{Model: "digits", N: 2}, "")
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+		if out.Dim != 784 || len(out.Samples) != 2 {
+			t.Fatalf("request %d: bad shape %d×%d", i, out.N, out.Dim)
+		}
+	}
+
+	text := scrapeMetrics(t, ts.URL)
+	if got := metricValue(t, text, "gateway_requests_total"); got != requests {
+		t.Fatalf("gateway_requests_total = %g, want %d", got, requests)
+	}
+	if got := metricValue(t, text, "gateway_request_errors_total"); got != 0 {
+		t.Fatalf("gateway_request_errors_total = %g", got)
+	}
+	// Keyless requests must spread: every replica sees traffic.
+	for i := range reps {
+		series := `gateway_replica_forwards_total{replica="` + strconv.Itoa(i) + `"}`
+		if got := metricValue(t, text, series); got == 0 {
+			t.Fatalf("replica %d received no forwards:\n%s", i, text)
+		}
+	}
+	if got := metricValue(t, text, "gateway_healthy_replicas"); got != 3 {
+		t.Fatalf("gateway_healthy_replicas = %g", got)
+	}
+	_ = g
+}
+
+func TestRouteKeyAffinity(t *testing.T) {
+	reps := startReplicas(t, 3)
+	_, ts := newTestGateway(t, reps, Options{})
+
+	// All requests under one route key must land on a single replica:
+	// exactly one per-replica forward counter moves.
+	before := scrapeMetrics(t, ts.URL)
+	const requests = 10
+	for i := 0; i < requests; i++ {
+		if code, _ := postGenerate(t, ts.URL, serve.GenerateRequest{Model: "digits", N: 1}, "alice"); code != http.StatusOK {
+			t.Fatalf("request %d failed: %d", i, code)
+		}
+	}
+	after := scrapeMetrics(t, ts.URL)
+	moved := 0
+	for i := range reps {
+		series := `gateway_replica_forwards_total{replica="` + strconv.Itoa(i) + `"}`
+		delta := metricValue(t, after, series) - metricValue(t, before, series)
+		switch delta {
+		case 0:
+		case requests:
+			moved++
+		default:
+			t.Fatalf("replica %d saw %g forwards for one key, want 0 or %d", i, delta, requests)
+		}
+	}
+	if moved != 1 {
+		t.Fatalf("%d replicas saw the pinned key's traffic, want exactly 1", moved)
+	}
+}
+
+func TestRingProperties(t *testing.T) {
+	r := NewRing(5, 64)
+	// Sequence covers every replica exactly once, deterministically.
+	seq1 := r.Sequence(nil, "some-key")
+	seq2 := r.Sequence(nil, "some-key")
+	if len(seq1) != 5 {
+		t.Fatalf("sequence length %d, want 5", len(seq1))
+	}
+	seen := make(map[int]bool)
+	for i, v := range seq1 {
+		if seq2[i] != v {
+			t.Fatal("sequence not deterministic")
+		}
+		if seen[v] {
+			t.Fatalf("replica %d repeated in sequence", v)
+		}
+		seen[v] = true
+	}
+	// Different keys spread primaries across replicas.
+	counts := make([]int, 5)
+	for i := 0; i < 1000; i++ {
+		seq := r.Sequence(nil, "key-"+strconv.Itoa(i))
+		counts[seq[0]]++
+	}
+	for i, c := range counts {
+		if c < 50 {
+			t.Fatalf("replica %d owns only %d/1000 keys — ring is unbalanced: %v", i, c, counts)
+		}
+	}
+	// One replica ring still works.
+	if seq := NewRing(1, 8).Sequence(nil, "x"); len(seq) != 1 || seq[0] != 0 {
+		t.Fatalf("1-ring sequence %v", seq)
+	}
+}
+
+// TestHedgingFiresOnSlowPrimary pins a request to a deliberately slow
+// replica and checks the gateway launches a hedge to the next replica,
+// the hedge wins, and the client still gets a fast, correct answer.
+func TestHedgingFiresOnSlowPrimary(t *testing.T) {
+	reps := startReplicas(t, 2)
+	g, ts := newTestGateway(t, reps, Options{
+		HedgeMax:           25 * time.Millisecond,
+		HedgeBudgetPercent: 100, // the budget itself is tested separately
+		MaxAttempts:        1,   // isolate hedging from the retry path
+	})
+
+	// Find a route key whose primary is replica 0 (the gateway's ring is
+	// reproducible: same replica count and virtual-node count).
+	ring := NewRing(2, g.opts.VirtualNodes)
+	key := ""
+	for i := 0; ; i++ {
+		k := "hedge-key-" + strconv.Itoa(i)
+		if seq := ring.Sequence(nil, "digits#"+k); seq[0] == 0 {
+			key = k
+			break
+		}
+	}
+	reps[0].Delay(300 * time.Millisecond)
+
+	start := time.Now()
+	code, out := postGenerate(t, ts.URL, serve.GenerateRequest{Model: "digits", N: 1}, key)
+	elapsed := time.Since(start)
+	if code != http.StatusOK || len(out.Samples) != 1 {
+		t.Fatalf("hedged request failed: %d", code)
+	}
+	if elapsed >= 300*time.Millisecond {
+		t.Fatalf("hedge did not rescue the request: took %v", elapsed)
+	}
+	text := scrapeMetrics(t, ts.URL)
+	if got := metricValue(t, text, "gateway_hedges_total"); got != 1 {
+		t.Fatalf("gateway_hedges_total = %g, want 1", got)
+	}
+	if got := metricValue(t, text, "gateway_hedge_wins_total"); got != 1 {
+		t.Fatalf("gateway_hedge_wins_total = %g, want 1", got)
+	}
+}
+
+// TestHedgeBudgetCapsSpeculation: with every request slow, launched
+// hedges must stay within the configured fraction of requests instead of
+// doubling the fleet's load.
+func TestHedgeBudgetCapsSpeculation(t *testing.T) {
+	reps := startReplicas(t, 2)
+	for _, r := range reps {
+		r.Delay(30 * time.Millisecond)
+	}
+	_, ts := newTestGateway(t, reps, Options{
+		HedgeMax:           5 * time.Millisecond,
+		HedgeBudgetPercent: 10,
+		MaxAttempts:        1,
+	})
+
+	const requests = 60
+	for i := 0; i < requests; i++ {
+		if code, _ := postGenerate(t, ts.URL, serve.GenerateRequest{Model: "digits", N: 1}, ""); code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+	text := scrapeMetrics(t, ts.URL)
+	hedges := metricValue(t, text, "gateway_hedges_total")
+	// Budget: hedges*100 < requests*10 + 100 ⇒ at most ~1/10 of traffic
+	// plus the floor of one.
+	if limit := float64(requests)/10 + 1; hedges > limit {
+		t.Fatalf("hedges %g exceed 10%% budget (limit %g)", hedges, limit)
+	}
+	if hedges == 0 {
+		t.Fatal("no hedges launched despite uniformly slow replicas")
+	}
+}
+
+func TestGatewayHealthzAndReplicaz(t *testing.T) {
+	reps := startReplicas(t, 2)
+	g, ts := newTestGateway(t, reps, Options{Table: TableOptions{StrikeLimit: 1}})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d", resp.StatusCode)
+	}
+
+	rresp, err := http.Get(ts.URL + "/replicaz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	var rz struct {
+		Replicas []ReplicaInfo `json:"replicas"`
+	}
+	if err := json.NewDecoder(rresp.Body).Decode(&rz); err != nil {
+		t.Fatal(err)
+	}
+	if len(rz.Replicas) != 2 {
+		t.Fatalf("replicaz: %+v", rz)
+	}
+	for _, ri := range rz.Replicas {
+		if ri.State != "healthy" {
+			t.Fatalf("replica %d state %q after probe", ri.Index, ri.State)
+		}
+		if len(ri.Models) != 1 || ri.Models[0].Name != "digits" {
+			t.Fatalf("replica %d models %+v", ri.Index, ri.Models)
+		}
+	}
+
+	// With every replica dead, the gateway itself must report
+	// unavailable.
+	for _, r := range reps {
+		r.Kill()
+	}
+	g.Table().ProbeAll()
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with dead fleet: %d", resp2.StatusCode)
+	}
+}
+
+func TestGatewayRejectsBadRequests(t *testing.T) {
+	reps := startReplicas(t, 1)
+	_, ts := newTestGateway(t, reps, Options{})
+
+	resp, err := http.Get(ts.URL + "/v1/generate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET accepted: %d", resp.StatusCode)
+	}
+	resp2, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body accepted: %d", resp2.StatusCode)
+	}
+	// Replica-side validation errors pass through untouched.
+	code, _ := postGenerate(t, ts.URL, serve.GenerateRequest{Model: "nope", N: 1}, "")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown model: %d, want 404", code)
+	}
+}

@@ -1,0 +1,93 @@
+package gateway
+
+import (
+	"io"
+	"strconv"
+	"time"
+
+	"cellgan/internal/telemetry"
+)
+
+// routeLatencyBuckets span 100 µs to ~100 s, matching the serving-side
+// request histogram so gateway and replica latency are comparable.
+var routeLatencyBuckets = telemetry.ExponentialBuckets(1e-4, 2, 21)
+
+// Metrics is the gateway's telemetry: client-facing request counters,
+// hedge/retry accounting, per-replica forward and ejection counters, and
+// the route latency histogram whose tracked p99 drives the hedging
+// policy.
+type Metrics struct {
+	reg *telemetry.Registry
+
+	requests    *telemetry.Counter // client requests accepted for routing
+	errors      *telemetry.Counter // client-visible failures (all routes exhausted)
+	retries     *telemetry.Counter // extra attempts after a retryable failure
+	hedges      *telemetry.Counter // speculative second requests launched
+	hedgeWin    *telemetry.Counter // hedged requests where the hedge answered first
+	reloads     *telemetry.Counter // successful replica artifact reloads
+	reloadFails *telemetry.Counter
+
+	latency *telemetry.Histogram
+
+	// Per-replica series, indexed like the replica table.
+	forwards    []*telemetry.Counter
+	forwardErrs []*telemetry.Counter
+	ejections   []*telemetry.Counter
+	readmits    []*telemetry.Counter
+}
+
+// NewMetrics returns a metrics set for n replicas on a private registry.
+func NewMetrics(n int) *Metrics {
+	reg := telemetry.NewRegistry()
+	m := &Metrics{
+		reg:         reg,
+		requests:    reg.Counter("gateway_requests_total", "Client generate requests accepted for routing."),
+		errors:      reg.Counter("gateway_request_errors_total", "Client requests that failed after all routes were exhausted."),
+		retries:     reg.Counter("gateway_retries_total", "Retry attempts after retryable replica failures."),
+		hedges:      reg.Counter("gateway_hedges_total", "Speculative hedge requests launched against a second replica."),
+		hedgeWin:    reg.Counter("gateway_hedge_wins_total", "Hedged requests won by the hedge replica."),
+		reloads:     reg.Counter("gateway_reloads_total", "Artifact hot-reloads confirmed healthy on a replica."),
+		reloadFails: reg.Counter("gateway_reload_failures_total", "Artifact hot-reload pushes that failed or never confirmed."),
+		latency:     reg.Histogram("gateway_route_latency_seconds", "Client-observed latency of routed generate requests.", routeLatencyBuckets),
+	}
+	m.forwards = make([]*telemetry.Counter, n)
+	m.forwardErrs = make([]*telemetry.Counter, n)
+	m.ejections = make([]*telemetry.Counter, n)
+	m.readmits = make([]*telemetry.Counter, n)
+	for i := 0; i < n; i++ {
+		l := `replica="` + strconv.Itoa(i) + `"`
+		m.forwards[i] = reg.CounterL("gateway_replica_forwards_total", l, "Requests forwarded to each replica.")
+		m.forwardErrs[i] = reg.CounterL("gateway_replica_forward_errors_total", l, "Forward attempts that failed per replica.")
+		m.ejections[i] = reg.CounterL("gateway_replica_ejections_total", l, "Times each replica was ejected from routing.")
+		m.readmits[i] = reg.CounterL("gateway_replica_readmissions_total", l, "Times each replica was readmitted to routing.")
+	}
+	return m
+}
+
+// Registry exposes the underlying telemetry registry (for GaugeFunc
+// attachment and the debug server).
+func (m *Metrics) Registry() *telemetry.Registry { return m.reg }
+
+// ObserveRoute records one completed client request.
+func (m *Metrics) ObserveRoute(d time.Duration, err bool) {
+	if err {
+		m.errors.Inc()
+		return
+	}
+	m.latency.Observe(d.Seconds())
+}
+
+// LatencyQuantile returns an upper-bound estimate of the q-quantile of
+// routed request latency in seconds, and the observation count it is
+// based on.
+func (m *Metrics) LatencyQuantile(q float64) (float64, uint64) {
+	return m.latency.Quantile(q), m.latency.Count()
+}
+
+// Hedges and Requests expose the counters the hedge budget is computed
+// from.
+func (m *Metrics) Hedges() uint64   { return m.hedges.Value() }
+func (m *Metrics) Requests() uint64 { return m.requests.Value() }
+
+// WriteText renders the exposition (the gateway /metrics endpoint).
+func (m *Metrics) WriteText(w io.Writer) { m.reg.WriteText(w) }

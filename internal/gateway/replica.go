@@ -1,0 +1,305 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cellgan/internal/serve"
+)
+
+// Replica states. A replica starts Unknown (routable, never probed),
+// becomes Healthy on a successful probe, and is Ejected after StrikeLimit
+// consecutive failures. Ejected replicas keep being probed and are
+// readmitted after ReadmitSuccesses consecutive successful probes — the
+// strike/eviction discipline of the resilient cluster runtime, applied
+// to the serving tier.
+const (
+	stateUnknown int32 = iota
+	stateHealthy
+	stateEjected
+)
+
+// Replica is one backend serve process in the table.
+type Replica struct {
+	// URL is the replica's base URL, e.g. http://127.0.0.1:8081.
+	URL string
+
+	index int
+	state atomic.Int32
+	// strikes counts consecutive failures (probes and forwards);
+	// successes counts consecutive probe successes while ejected.
+	strikes   atomic.Int32
+	successes atomic.Int32
+
+	mu      sync.Mutex
+	models  map[string]serve.ModelStatus // last reported by /healthz
+	lastErr string
+	queue   int
+}
+
+// Routable reports whether the routing path may send traffic here.
+func (r *Replica) Routable() bool { return r.state.Load() != stateEjected }
+
+// HostsModel reports whether the replica serves the named model, per its
+// last health report. Unprobed replicas (no report yet) and empty names
+// pass: routing falls back to trying rather than blackholing.
+func (r *Replica) HostsModel(name string) bool {
+	if name == "" {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.models) == 0 {
+		return true
+	}
+	_, ok := r.models[name]
+	return ok
+}
+
+// ModelStatus returns the replica's last-reported status for a model.
+func (r *Replica) ModelStatus(name string) (serve.ModelStatus, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.models[name]
+	return st, ok
+}
+
+// TableOptions tunes the replica table and its prober.
+type TableOptions struct {
+	// ProbeInterval is the health-probe period (default 1 s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request (default 500 ms).
+	ProbeTimeout time.Duration
+	// StrikeLimit is the consecutive failures that eject a replica
+	// (default 3).
+	StrikeLimit int
+	// ReadmitSuccesses is the consecutive successful probes that readmit
+	// an ejected replica (default 2).
+	ReadmitSuccesses int
+}
+
+func (o TableOptions) withDefaults() TableOptions {
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 500 * time.Millisecond
+	}
+	if o.StrikeLimit <= 0 {
+		o.StrikeLimit = 3
+	}
+	if o.ReadmitSuccesses <= 0 {
+		o.ReadmitSuccesses = 2
+	}
+	return o
+}
+
+// Table is the gateway's replica set: a fixed membership list whose
+// health states are driven by periodic /healthz probes plus data-path
+// strike feedback.
+type Table struct {
+	opts     TableOptions
+	replicas []*Replica
+	metrics  *Metrics
+	client   *http.Client
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewTable builds a table over the replica base URLs. metrics may not be
+// nil; its per-replica series must have been sized for len(urls).
+func NewTable(urls []string, opts TableOptions, metrics *Metrics) *Table {
+	opts = opts.withDefaults()
+	t := &Table{
+		opts:    opts,
+		metrics: metrics,
+		client:  &http.Client{Timeout: opts.ProbeTimeout},
+		stop:    make(chan struct{}),
+	}
+	for i, u := range urls {
+		t.replicas = append(t.replicas, &Replica{URL: u, index: i, models: map[string]serve.ModelStatus{}})
+	}
+	metrics.reg.GaugeFunc("gateway_healthy_replicas", "Replicas currently routable.",
+		func() float64 { return float64(t.RoutableCount()) })
+	return t
+}
+
+// Replicas returns the table's replicas (fixed membership, index-stable).
+func (t *Table) Replicas() []*Replica { return t.replicas }
+
+// RoutableCount returns how many replicas are currently routable.
+func (t *Table) RoutableCount() int {
+	n := 0
+	for _, r := range t.replicas {
+		if r.Routable() {
+			n++
+		}
+	}
+	return n
+}
+
+// Start launches the background probe loop.
+func (t *Table) Start() {
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		ticker := time.NewTicker(t.opts.ProbeInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				t.ProbeAll()
+			case <-t.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the probe loop.
+func (t *Table) Stop() {
+	t.stopOnce.Do(func() { close(t.stop) })
+	t.wg.Wait()
+}
+
+// ProbeAll probes every replica once, concurrently, and returns when all
+// probes have completed. Exposed so tests and the deployer can force a
+// deterministic sweep instead of waiting on the ticker.
+func (t *Table) ProbeAll() {
+	var wg sync.WaitGroup
+	for _, r := range t.replicas {
+		wg.Add(1)
+		go func(r *Replica) {
+			defer wg.Done()
+			t.Probe(r)
+		}(r)
+	}
+	wg.Wait()
+}
+
+// Probe runs one health check against r and updates its state.
+func (t *Table) Probe(r *Replica) {
+	st, err := t.fetchHealth(r)
+	if err != nil {
+		t.RecordFailure(r, err.Error())
+		return
+	}
+	r.mu.Lock()
+	models := make(map[string]serve.ModelStatus, len(st.Models))
+	for _, m := range st.Models {
+		models[m.Name] = m
+	}
+	r.models = models
+	r.queue = st.QueueDepth
+	r.lastErr = ""
+	r.mu.Unlock()
+	t.recordProbeSuccess(r)
+}
+
+// fetchHealth GETs the replica's /healthz and requires an "ok" report.
+func (t *Table) fetchHealth(r *Replica) (*serve.HealthStatus, error) {
+	resp, err := t.client.Get(r.URL + "/healthz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st serve.HealthStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("decoding health report: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK || st.Status != "ok" {
+		return nil, fmt.Errorf("unhealthy: HTTP %d, status %q", resp.StatusCode, st.Status)
+	}
+	return &st, nil
+}
+
+// RecordFailure registers one failed probe or forward against r: a
+// strike. Reaching the strike limit ejects the replica. Also resets the
+// readmission success streak.
+func (t *Table) RecordFailure(r *Replica, reason string) {
+	r.mu.Lock()
+	r.lastErr = reason
+	r.mu.Unlock()
+	r.successes.Store(0)
+	strikes := r.strikes.Add(1)
+	if int(strikes) >= t.opts.StrikeLimit {
+		if r.state.Swap(stateEjected) != stateEjected {
+			t.metrics.ejections[r.index].Inc()
+		}
+	}
+}
+
+// RecordForwardSuccess clears the strike streak of a routable replica
+// after a successful data-path forward. Readmission of ejected replicas
+// stays probe-driven: a lucky forward does not readmit.
+func (t *Table) RecordForwardSuccess(r *Replica) {
+	if r.state.Load() != stateEjected {
+		r.strikes.Store(0)
+	}
+}
+
+// recordProbeSuccess clears strikes and, for ejected replicas, advances
+// the readmission streak.
+func (t *Table) recordProbeSuccess(r *Replica) {
+	r.strikes.Store(0)
+	switch r.state.Load() {
+	case stateEjected:
+		if int(r.successes.Add(1)) >= t.opts.ReadmitSuccesses {
+			if r.state.Swap(stateHealthy) == stateEjected {
+				t.metrics.readmits[r.index].Inc()
+			}
+			r.successes.Store(0)
+		}
+	default:
+		r.state.Store(stateHealthy)
+		r.successes.Store(0)
+	}
+}
+
+// ReplicaInfo is one /replicaz entry.
+type ReplicaInfo struct {
+	Index   int                 `json:"index"`
+	URL     string              `json:"url"`
+	State   string              `json:"state"`
+	Strikes int32               `json:"strikes"`
+	Queue   int                 `json:"queue_depth"`
+	LastErr string              `json:"last_error,omitempty"`
+	Models  []serve.ModelStatus `json:"models,omitempty"`
+}
+
+// Info snapshots the table for the /replicaz endpoint.
+func (t *Table) Info() []ReplicaInfo {
+	infos := make([]ReplicaInfo, 0, len(t.replicas))
+	for _, r := range t.replicas {
+		name := "unknown"
+		switch r.state.Load() {
+		case stateHealthy:
+			name = "healthy"
+		case stateEjected:
+			name = "ejected"
+		}
+		r.mu.Lock()
+		models := make([]serve.ModelStatus, 0, len(r.models))
+		for _, m := range r.models {
+			models = append(models, m)
+		}
+		info := ReplicaInfo{
+			Index:   r.index,
+			URL:     r.URL,
+			State:   name,
+			Strikes: r.strikes.Load(),
+			Queue:   r.queue,
+			LastErr: r.lastErr,
+			Models:  models,
+		}
+		r.mu.Unlock()
+		infos = append(infos, info)
+	}
+	return infos
+}

@@ -38,6 +38,10 @@ type Model struct {
 	Name string
 	// Version increments on every (re)load of the name.
 	Version uint64
+	// Hash is the content hash of the artifact (checkpoint.HashMixture):
+	// the cross-process model identity health checks and the deployment
+	// gateway compare against.
+	Hash string
 	// Artifact is the deployable export the model was built from.
 	Artifact *checkpoint.MixtureArtifact
 	// LatentDim and OutputDim describe the generator's signature.
@@ -54,9 +58,14 @@ func newModel(name string, version uint64, a *checkpoint.MixtureArtifact) (*Mode
 	if err != nil {
 		return nil, err
 	}
+	hash, err := checkpoint.HashMixture(a)
+	if err != nil {
+		return nil, err
+	}
 	return &Model{
 		Name:      name,
 		Version:   version,
+		Hash:      hash,
 		Artifact:  a,
 		LatentDim: a.LatentDim(),
 		OutputDim: m.OutputDim(),

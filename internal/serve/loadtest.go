@@ -62,6 +62,21 @@ func (r *LoadTestResult) String() string {
 		r.RPS, r.SamplesPerSec, r.P50, r.P90, r.P99, r.Max)
 }
 
+// BenchLine renders the result as one `go test -bench`-style line
+// (`BenchmarkName <iterations> <value> <unit> ...`), so load-test runs
+// can be piped through cmd/benchjson and archived as machine-readable
+// serving benchmarks (BENCH_serve.json) — the serving analogue of the
+// paper's speedup tables. name must not contain whitespace.
+func (r *LoadTestResult) BenchLine(name string) string {
+	nsPerReq := 0.0
+	if r.Requests > 0 {
+		nsPerReq = float64(r.Elapsed.Nanoseconds()) / float64(r.Requests)
+	}
+	return fmt.Sprintf("Benchmark%s %d %.0f ns/op %.2f qps %.2f samples/s %d p50-ns %d p99-ns %d max-ns %d shed %d errors",
+		name, r.Requests, nsPerReq, r.RPS, r.SamplesPerSec,
+		r.P50.Nanoseconds(), r.P99.Nanoseconds(), r.Max.Nanoseconds(), r.Shed, r.Errors)
+}
+
 // percentile returns the p-quantile of sorted durations.
 func percentile(sorted []time.Duration, p float64) time.Duration {
 	if len(sorted) == 0 {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"sync"
@@ -73,6 +74,46 @@ func (r *Registry) LoadFile(name, path string) error {
 		return err
 	}
 	return r.Load(name, a)
+}
+
+// LoadBytes (re)loads a model from a serialised mixture artifact, e.g.
+// the body of a /v1/reload push.
+func (r *Registry) LoadBytes(name string, data []byte) error {
+	a, err := checkpoint.ReadMixture(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	return r.Load(name, a)
+}
+
+// ModelStatus identifies one loaded model for health checks: the
+// registry key, the monotonically increasing load version, the artifact
+// content hash, and the model's current request queue depth.
+type ModelStatus struct {
+	Name       string `json:"name"`
+	Version    uint64 `json:"version"`
+	Hash       string `json:"hash"`
+	QueueDepth int    `json:"queue_depth"`
+}
+
+// Statuses returns the status of every loaded model in name order — the
+// payload of /healthz and the signal the gateway's readiness and
+// readmission decisions key on.
+func (r *Registry) Statuses() []ModelStatus {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	sts := make([]ModelStatus, 0, len(r.engines))
+	for name, e := range r.engines {
+		m := e.Model()
+		sts = append(sts, ModelStatus{
+			Name:       name,
+			Version:    m.Version,
+			Hash:       m.Hash,
+			QueueDepth: e.QueueDepth(),
+		})
+	}
+	sort.Slice(sts, func(i, j int) bool { return sts[i].Name < sts[j].Name })
+	return sts
 }
 
 // Engine returns the engine serving name. An empty name resolves to the

@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strings"
@@ -73,6 +74,7 @@ func NewServer(reg *Registry, requestTimeout time.Duration) *Server {
 	}
 	s := &Server{reg: reg, timeout: requestTimeout, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/v1/generate", s.handleGenerate)
+	s.mux.HandleFunc("/v1/reload", s.handleReload)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/modelz", s.handleModelz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -104,6 +106,7 @@ type GenerateRequest struct {
 type GenerateResponse struct {
 	Model    string      `json:"model"`
 	Version  uint64      `json:"version"`
+	Hash     string      `json:"hash,omitempty"`
 	N        int         `json:"n"`
 	Dim      int         `json:"dim"`
 	Encoding string      `json:"encoding"`
@@ -183,6 +186,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	resp := GenerateResponse{
 		Model:    m.Name,
 		Version:  m.Version,
+		Hash:     m.Hash,
 		N:        out.Rows,
 		Dim:      out.Cols,
 		Encoding: encoding,
@@ -228,14 +232,82 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	writeJSONPooled(w, resp)
 }
 
+// maxReloadBody bounds one /v1/reload artifact push. Mixture artifacts
+// are generator parameters only, megabytes at most; anything larger is a
+// malformed or hostile push.
+const maxReloadBody = 256 << 20
+
+// HealthStatus is the /healthz response body. Beyond the bare liveness
+// bit it carries the identity (version + content hash) of every loaded
+// model and the request queue depth, so a routing gateway can decide
+// readiness, confirm a hot reload took effect, and weigh readmission on
+// real signal instead of a blind 200.
+type HealthStatus struct {
+	Status string `json:"status"`
+	// QueueDepth is the total requests waiting across all engines.
+	QueueDepth int           `json:"queue_depth"`
+	Models     []ModelStatus `json:"models"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := HealthStatus{
+		Status:     "ok",
+		QueueDepth: s.reg.QueueDepth(),
+		Models:     s.reg.Statuses(),
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if s.draining.Load() {
+		st.Status = "draining"
 		w.WriteHeader(http.StatusServiceUnavailable)
-		json.NewEncoder(w).Encode(map[string]any{"status": "draining"})
+	}
+	json.NewEncoder(w).Encode(st)
+}
+
+// ReloadResponse is the body of a successful /v1/reload.
+type ReloadResponse struct {
+	Model   string `json:"model"`
+	Version uint64 `json:"version"`
+	Hash    string `json:"hash"`
+}
+
+// handleReload accepts a serialised mixture artifact as the request body
+// and hot-swaps it into the registry under the model named by the
+// ?model= query parameter. In-flight and queued requests finish on the
+// old version; batches formed after the swap see the new one. This is
+// the push half of the train→serve deployment loop: the gateway's
+// deployer POSTs fresh artifacts here, then confirms the new hash via
+// /healthz before counting the replica as flipped.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	json.NewEncoder(w).Encode(map[string]any{"status": "ok", "models": s.reg.Len()})
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	name := r.URL.Query().Get("model")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, "model query parameter required")
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxReloadBody))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading artifact body: %v", err)
+		return
+	}
+	if err := s.reg.LoadBytes(name, data); err != nil {
+		httpError(w, http.StatusBadRequest, "loading artifact: %v", err)
+		return
+	}
+	engine, err := s.reg.Engine(name)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	m := engine.Model()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(ReloadResponse{Model: m.Name, Version: m.Version, Hash: m.Hash})
 }
 
 // modelInfo is one /modelz entry.
