@@ -20,9 +20,11 @@ test:
 
 # Race-check the concurrent packages (serving engine, gateway routing,
 # message passing, client-server exchange, checkpoint train-in-test
-# helpers, telemetry registry).
+# helpers, cluster runtime incl. the async chaos suite, telemetry
+# registry) plus the in-process async/staleness training tests.
 race:
-	$(GO) test -race ./internal/serve/ ./internal/gateway/ ./internal/mpi/ ./internal/clientserver/ ./internal/checkpoint/ ./internal/telemetry/
+	$(GO) test -race ./internal/serve/ ./internal/gateway/ ./internal/mpi/ ./internal/clientserver/ ./internal/checkpoint/ ./internal/cluster/ ./internal/telemetry/
+	$(GO) test -race -run 'Async|Staleness' ./internal/core/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -2,7 +2,8 @@
 // over TCP — the deployment analogue of launching the paper's
 // implementation with mpirun. Every process is started with the same
 // -addrs list; rank 0 becomes the master and ranks 1..N-1 become slaves
-// (one per grid cell, so N = grid² + 1).
+// (one per grid cell, so N = grid² + 1; with -async -join-slots R, the
+// last R ranks are elastic reserves that join mid-run).
 //
 // Example (2×2 grid, 5 processes on one machine):
 //
@@ -42,7 +43,11 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	timeout := flag.Duration("connect-timeout", 30*time.Second, "mesh connection timeout")
 	resilient := flag.Bool("resilient", false, "route exchanges through the master so crashed slaves are evicted and their cells reassigned")
-	chaosSeed := flag.Uint64("chaos-seed", 0, "enable deterministic fault injection with this schedule seed (0 = off, implies -resilient)")
+	async := flag.Bool("async", false, "asynchronous exchange: slaves push snapshots peer-to-peer under a bounded-staleness window instead of synchronous rounds")
+	staleness := flag.Int("staleness", 0, "bounded-staleness window S for -async (0 = config default)")
+	joinSlots := flag.Int("join-slots", 0, "extra reserve ranks beyond the grid that may join mid-run (-async only; addrs must cover them)")
+	joinDelay := flag.Duration("join-delay", 2*time.Second, "how long a reserve rank idles before asking to join the running job")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "enable deterministic fault injection with this schedule seed (0 = off, implies -resilient unless -async)")
 	chaosDrop := flag.Float64("chaos-drop", 0.1, "injected message drop probability (with -chaos-seed)")
 	chaosDup := flag.Float64("chaos-dup", 0.1, "injected message duplication probability (with -chaos-seed)")
 	chaosDelay := flag.Float64("chaos-delay", 0.2, "injected message delay probability (with -chaos-seed)")
@@ -67,24 +72,34 @@ func main() {
 	cfg.NeuronsPerHidden = *hidden
 	cfg.InputNeurons = *latent
 	cfg.Seed = *seed
+	if *staleness > 0 {
+		cfg.AsyncStaleness = *staleness
+	}
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
-	if cfg.NumTasks() != n {
-		fatal(fmt.Errorf("grid %d×%d needs %d processes (cells + master), got %d addresses",
-			*gridSide, *gridSide, cfg.NumTasks(), n))
+	if !*async && *joinSlots > 0 {
+		fatal(fmt.Errorf("-join-slots needs -async"))
+	}
+	want := cfg.NumTasks()
+	if *async {
+		want += *joinSlots
+	}
+	if want != n {
+		fatal(fmt.Errorf("grid %d×%d needs %d processes (cells + master + reserves), got %d addresses",
+			*gridSide, *gridSide, want, n))
 	}
 
-	if *chaosSeed != 0 {
+	if *chaosSeed != 0 && !*async {
 		// Fault injection without recovery would just be a broken job.
 		*resilient = true
 	}
 
-	// The resilient runtime expects peers to misbehave, so pair it with the
-	// hardened transport: connect retries, write deadlines and transparent
-	// reconnection on broken pipes.
+	// The resilient and async runtimes expect peers to misbehave, so pair
+	// them with the hardened transport: connect retries, write deadlines
+	// and transparent reconnection on broken pipes.
 	tcpOpts := mpi.TCPOptions{}
-	if *resilient {
+	if *resilient || *async {
 		tcpOpts = mpi.HardenedTCPOptions()
 	}
 	node, err := mpi.ListenTCPOpts(*rank, n, list[*rank], tcpOpts)
@@ -103,6 +118,9 @@ func main() {
 	var faultStats mpi.FaultStats
 	if *chaosSeed != 0 {
 		plan := cluster.ChaosPlan(*chaosSeed, *chaosDrop, *chaosDup, *chaosDelay)
+		if *async {
+			plan = cluster.AsyncChaosPlan(*chaosSeed, *chaosDrop, *chaosDup, *chaosDelay)
+		}
 		plan.Stats = &faultStats
 		comm = mpi.FaultyComm(comm, plan)
 		if *rank == 0 {
@@ -154,6 +172,8 @@ func main() {
 		res, err := cluster.RunMaster(comm, cluster.MasterOptions{
 			Cfg:       cfg,
 			Resilient: *resilient,
+			Async:     *async,
+			JoinSlots: *joinSlots,
 			Logf:      func(format string, args ...interface{}) { fmt.Printf(format+"\n", args...) },
 			Interrupt: interrupt,
 			Metrics:   cluster.NewMetrics(reg),
@@ -182,7 +202,19 @@ func main() {
 			commStats.RecvMessages.Load(), commStats.RecvBytes.Load())
 		return
 	}
-	if err := cluster.RunSlave(comm, local); err != nil {
+	var sopts cluster.SlaveOptions
+	if *async && *rank >= cfg.NumTasks() {
+		// Reserve rank: idle, then ask the master for a mid-run join.
+		joinCh := make(chan struct{})
+		delay := *joinDelay
+		go func() {
+			time.Sleep(delay)
+			fmt.Printf("rank %d (reserve) requesting to join the job\n", *rank)
+			close(joinCh)
+		}()
+		sopts.JoinSignal = joinCh
+	}
+	if err := cluster.RunSlaveOpts(comm, local, sopts); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("rank %d (slave) finished\n", *rank)

@@ -1,0 +1,939 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cellgan/internal/core"
+	"cellgan/internal/mpi"
+	"cellgan/internal/profile"
+)
+
+// This file is the asynchronous cluster exchange: the distributed form of
+// core.RunAsync. Each slave trains its cells at its own pace and pushes
+// center snapshots directly to the owners of each cell's influence set
+// (tagAsyncState) — no rounds, no barrier, no master round-trip on the
+// exchange path. Divergence is capped by the same bounded-staleness
+// window S the in-process mode uses: a cell skips its next iteration
+// while some live neighbour's last absorbed snapshot would end up more
+// than S versions behind, and a per-(cell, source) core.StalenessTracker
+// guarantees a delayed or duplicated push can never regress a neighbour
+// view.
+//
+// The master's job shrinks to inventory and membership: it merges the
+// slaves' periodic full-state uploads (so it always holds every cell's
+// last state, exactly like resilient mode), decides when training is
+// done, and runs the elastic join protocol — the inverse of resilient
+// eviction. A connected-but-idle reserve slave asks to join (tagJoin);
+// the master picks cells from the most loaded owners, recalls their
+// state (tagRelease / tagReleaseAck), and grants them to the joiner with
+// seed snapshots so it can start exchanging immediately (tagOwnerUpdate,
+// also broadcast so every peer re-aims its pushes).
+
+// asyncUploadEvery is how often an async slave re-uploads its inventory
+// and re-pushes its cell states when idle — the liveness backstop that
+// rides out dropped pushes and partition windows.
+const asyncUploadEvery = 50 * time.Millisecond
+
+// asyncIdleSleep is the execution-thread poll interval when no owned
+// cell can make progress (all gated, finished, or none owned yet).
+const asyncIdleSleep = time.Millisecond
+
+// asyncMasterPoll is the master's poll interval between mailbox drains.
+const asyncMasterPoll = 2 * time.Millisecond
+
+// asyncMasterDrainMax caps how many state updates the master merges per
+// poll pass. Merging is slower than four-plus slaves can upload, so an
+// unbounded drain would starve the join queue and the done check until
+// training ends.
+const asyncMasterDrainMax = 32
+
+// asyncClusterHooks observe the cluster exchange from tests. Set before
+// a job starts and never mutated during one; nil fields are skipped.
+var asyncClusterHooks struct {
+	// onPush fires after cell's owner pushes its snapshot at iter.
+	onPush func(cell, iter int)
+	// onApply fires after a slave applies src's snapshot at iter to the
+	// neighbour view of an owned cell.
+	onApply func(cell, src, iter int)
+}
+
+// executeAsync is the execution thread of an async-mode slave: a single
+// goroutine multiplexing every owned cell through absorb → gate →
+// iterate → push passes, growing and shrinking its owned set as owner
+// updates and release orders arrive from the control loop.
+func (s *slave) executeAsync(task runTask) {
+	defer close(s.done)
+	defer s.setState(StateFinished)
+
+	prof := profile.New()
+	finishErr := func(err error) {
+		cellRank := task.CellRank
+		if cellRank < 0 {
+			cellRank = 0
+		}
+		s.updMu.Lock()
+		s.reports = []SlaveReport{{
+			CellRank: cellRank, Node: task.Node,
+			MixtureFitness: inf(), Error: err.Error(),
+		}}
+		s.updMu.Unlock()
+	}
+
+	g, err := core.BuildGridFor(task.Cfg)
+	if err != nil {
+		finishErr(err)
+		return
+	}
+	myRank := s.world.Rank()
+	nCells := task.Cfg.NumCells()
+	target := task.Cfg.Iterations
+	staleness := task.Cfg.EffectiveAsyncStaleness()
+
+	owned := make(map[int]*core.Cell)
+	trackers := make(map[int]*core.StalenessTracker)
+	nbSets := make(map[int][]int) // per owned cell: neighbourhood minus self
+	failed := make(map[int]bool)  // owned cells whose training errored
+	errNote := make(map[int]string)
+	fitness := make(map[int]float64)
+	failedGlobal := make(map[int]bool) // any cell marked failed by the master
+	owners := make([]int, nCells)
+	for c := range owners {
+		owners[c] = c + 1 // the initial one-cell-per-slave assignment
+	}
+
+	adopt := func(rank int, full []byte, adFailed bool, adErr string, adFit float64) error {
+		if _, ok := owned[rank]; ok {
+			return nil
+		}
+		c, err := core.NewCell(task.Cfg, rank, g, prof)
+		if err != nil {
+			return err
+		}
+		if len(full) > 0 {
+			f, err := core.UnmarshalFullState(full)
+			if err != nil {
+				return err
+			}
+			if err := c.RestoreFull(f); err != nil {
+				return err
+			}
+		}
+		owned[rank] = c
+		trackers[rank] = core.NewStalenessTracker(staleness)
+		var nbs []int
+		for _, n := range g.Neighborhood(rank) {
+			if n != rank {
+				nbs = append(nbs, n)
+			}
+		}
+		nbSets[rank] = nbs
+		failed[rank] = adFailed
+		if adErr != "" {
+			errNote[rank] = adErr
+		}
+		fitness[rank] = adFit
+		return nil
+	}
+	drop := func(rank int) {
+		delete(owned, rank)
+		delete(trackers, rank)
+		delete(nbSets, rank)
+		delete(failed, rank)
+		delete(errNote, rank)
+		delete(fitness, rank)
+	}
+
+	if !task.Joiner {
+		if err := adopt(task.CellRank, nil, false, "", inf()); err != nil {
+			finishErr(err)
+			return
+		}
+	}
+
+	// applyState refreshes the neighbour view of every owned cell whose
+	// neighbourhood contains the snapshot's rank, guarded per
+	// (cell, source) by the cross-drain staleness tracker.
+	applyState := func(st *core.CellState) error {
+		for _, r := range sortedRanks(owned) {
+			if st.Rank == r {
+				continue
+			}
+			tr := trackers[r]
+			member := false
+			for _, n := range nbSets[r] {
+				if n == st.Rank {
+					member = true
+					break
+				}
+			}
+			if !member || !tr.ShouldApply(st.Rank, st.Iteration) {
+				continue
+			}
+			if err := owned[r].UpdateNeighbor(st); err != nil {
+				return err
+			}
+			tr.MarkApplied(st.Rank, st.Iteration)
+			if h := asyncClusterHooks.onApply; h != nil {
+				h(r, st.Rank, st.Iteration)
+			}
+		}
+		return nil
+	}
+
+	// push sends one owned cell's snapshot to the distinct owners of its
+	// influence set. Best-effort: a lost push is healed by the idle
+	// re-push, and co-owned neighbours are refreshed locally instead.
+	push := func(r int) error {
+		st, err := owned[r].State()
+		if err != nil {
+			return err
+		}
+		payload := st.Marshal()
+		sent := make(map[int]bool)
+		for _, d := range g.Influence(r) {
+			o := owners[d]
+			if o == 0 || o == myRank || sent[o] {
+				continue
+			}
+			sent[o] = true
+			s.world.Send(o, tagAsyncState, payload) //nolint:errcheck
+		}
+		if h := asyncClusterHooks.onPush; h != nil {
+			h(r, st.Iteration)
+		}
+		return applyState(st) // co-owned neighbours see it immediately
+	}
+
+	// upload sends the master a fresh inventory of every owned cell and
+	// caches it for tagStateResend.
+	pass := 0
+	upload := func() error {
+		upd := stateUpdate{Slave: myRank, Round: pass}
+		for _, r := range sortedRanks(owned) {
+			c := owned[r]
+			f, err := c.FullState()
+			if err != nil {
+				return err
+			}
+			upd.Cells = append(upd.Cells, cellBlob{
+				CellRank: r, Iteration: c.Iteration(), Full: f.Marshal(),
+				Failed: failed[r], Error: errNote[r], Fitness: fitness[r],
+			})
+		}
+		payload, err := upd.marshal()
+		if err != nil {
+			return err
+		}
+		s.updMu.Lock()
+		s.latestUpdate = payload
+		s.updMu.Unlock()
+		s.world.Send(0, tagStateUpdate, payload) //nolint:errcheck
+		return nil
+	}
+
+	version := -1
+	doneFlag, abortFlag := false, false
+	lastUpload := time.Time{}
+	for {
+		// (1) Control messages from the master, via the control loop.
+		for ctl := true; ctl; {
+			select {
+			case u := <-s.ownerCh:
+				if u.Version < version || len(u.Owners) != nCells {
+					continue // stale resend or foreign-grid noise
+				}
+				version = u.Version
+				copy(owners, u.Owners)
+				for _, c := range u.Failed {
+					failedGlobal[c] = true
+				}
+				for _, ad := range u.Adopt {
+					if err := adopt(ad.CellRank, ad.Full, ad.Failed, ad.Error, ad.Fitness); err != nil {
+						finishErr(err)
+						return
+					}
+				}
+				// The catch-all for a release lost mid-flight: ownership
+				// says the cell is elsewhere, so stop training it.
+				for _, r := range sortedRanks(owned) {
+					if owners[r] != myRank {
+						drop(r)
+					}
+				}
+				for i := range u.States {
+					st, err := core.UnmarshalCellState(u.States[i].Data)
+					if err != nil {
+						continue // a seed is advisory, never fatal
+					}
+					if err := applyState(st); err != nil {
+						finishErr(err)
+						return
+					}
+				}
+				if u.Done {
+					doneFlag = true
+					abortFlag = u.Abort
+				}
+			case r := <-s.releaseCh:
+				// Return the released cells' state and stop training
+				// them; the ack echoes the order's version in Round.
+				ack := stateUpdate{Slave: myRank, Round: r.Version}
+				for _, cr := range r.Cells {
+					c, ok := owned[cr]
+					if !ok {
+						continue
+					}
+					f, err := c.FullState()
+					if err != nil {
+						finishErr(err)
+						return
+					}
+					ack.Cells = append(ack.Cells, cellBlob{
+						CellRank: cr, Iteration: c.Iteration(), Full: f.Marshal(),
+						Failed: failed[cr], Error: errNote[cr], Fitness: fitness[cr],
+					})
+					drop(cr)
+				}
+				payload, err := ack.marshal()
+				if err != nil {
+					finishErr(err)
+					return
+				}
+				if err := retrySend(s.world, 0, tagReleaseAck, payload, 4, 10*time.Millisecond, nil); err != nil {
+					finishErr(err)
+					return
+				}
+			case <-s.quit:
+				finishErr(fmt.Errorf("cluster: slave %d control loop exited mid-run", myRank))
+				return
+			default:
+				ctl = false
+			}
+		}
+
+		// (2) Absorb peer pushes.
+		for {
+			m, ok, err := s.world.TryRecv(mpi.AnySource, tagAsyncState)
+			if err != nil {
+				finishErr(err)
+				return
+			}
+			if !ok {
+				break
+			}
+			st, err := core.UnmarshalCellState(m.Data)
+			if err != nil {
+				continue // corrupt push; peers re-push
+			}
+			if err := applyState(st); err != nil {
+				finishErr(err)
+				return
+			}
+		}
+
+		if doneFlag {
+			s.finalizeResilient(task, owned, failed, errNote, fitness, abortFlag, prof)
+			return
+		}
+
+		// (3) One training pass: iterate every owned cell that is
+		// unfinished, unfailed and within the staleness window. Gated
+		// cells are skipped, never blocked on — other owned cells and
+		// the absorb loop keep running.
+		progressed := false
+		for _, r := range sortedRanks(owned) {
+			c := owned[r]
+			if failed[r] || s.abort.Load() || c.Iteration() >= target {
+				continue
+			}
+			gate := nbSets[r][:0:0]
+			for _, n := range nbSets[r] {
+				if !failedGlobal[n] {
+					gate = append(gate, n)
+				}
+			}
+			if len(trackers[r].Stale(c.Iteration()+1, gate)) > 0 {
+				continue
+			}
+			stats, err := c.Iterate()
+			if err != nil {
+				failed[r] = true
+				errNote[r] = err.Error()
+				continue
+			}
+			fitness[r] = stats.MixtureFitness
+			progressed = true
+			if err := push(r); err != nil {
+				finishErr(err)
+				return
+			}
+		}
+		pass++
+
+		// (4) Inventory upload: after progress, and periodically while
+		// idle so the master still converges under dropped uploads. The
+		// idle branch also re-pushes owned states — the liveness valve
+		// that ends a partition-starved gate.
+		if progressed || time.Since(lastUpload) >= asyncUploadEvery {
+			if !progressed {
+				for _, r := range sortedRanks(owned) {
+					if err := push(r); err != nil {
+						finishErr(err)
+						return
+					}
+				}
+			}
+			if err := upload(); err != nil {
+				finishErr(err)
+				return
+			}
+			lastUpload = time.Now()
+		}
+		if !progressed {
+			select {
+			case <-s.quit:
+				finishErr(fmt.Errorf("cluster: slave %d control loop exited mid-run", myRank))
+				return
+			case <-time.After(asyncIdleSleep):
+			}
+		}
+	}
+}
+
+// runMasterAsync is the master role of the asynchronous mode: merge
+// inventory uploads, serve joins, detect completion, collect reports.
+func runMasterAsync(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) {
+	res := &JobResult{}
+	started := time.Now()
+	var logMu sync.Mutex
+	logf := func(format string, args ...interface{}) {
+		line := fmt.Sprintf(format, args...)
+		logMu.Lock()
+		res.Log = append(res.Log, line)
+		logMu.Unlock()
+		if opts.Logf != nil {
+			opts.Logf("%s", line)
+		}
+	}
+	nSlaves := comm.Size() - 1 // workers plus connected reserves
+	nCells := opts.Cfg.NumCells()
+	target := opts.Cfg.Iterations
+
+	// (i) Node names from every connected rank, reserves included.
+	names := make([]string, nSlaves+1)
+	names[0] = "master"
+	got := 0
+	nameDeadline := time.Now().Add(opts.HeartbeatTimeout)
+	for got < nSlaves {
+		left := time.Until(nameDeadline)
+		if left <= 0 {
+			break
+		}
+		m, err := comm.RecvTimeout(mpi.AnySource, tagNodeName, left)
+		if err != nil {
+			break
+		}
+		if names[m.Src] == "" {
+			names[m.Src] = string(m.Data)
+			got++
+		}
+	}
+	logf("master: gathered %d/%d node names (%d reserve slots)", got, nSlaves, nSlaves-nCells)
+
+	// (ii)+(iii) Placement over the full world, reserves included.
+	placements, err := Allocate(opts.Inventory, comm.Size(), opts.Cfg.MemoryPerTaskMB)
+	if err != nil {
+		return nil, err
+	}
+	res.Placements = placements
+	logf("master: placed %d tasks on %d nodes (%d MB total)",
+		comm.Size(), len(Summary(placements)), opts.Cfg.MemoryMB())
+
+	// (iv) Dispatch async run tasks to the initial workers only; the
+	// reserves idle until they ask to join.
+	for s := 1; s <= nCells; s++ {
+		task := runTask{
+			Cfg: opts.Cfg, CellRank: s - 1,
+			Node: placements[s].Node, Core: placements[s].Core,
+			Async: true,
+		}
+		payload, err := task.marshal()
+		if err != nil {
+			return nil, err
+		}
+		if err := retrySend(comm, s, tagRunTask, payload, 4, 10*time.Millisecond, opts.Metrics.SendRetries); err != nil {
+			logf("master: sending run task to slave %d failed: %v", s, err)
+		}
+	}
+	logf("master: sent async run task to %d slaves", nCells)
+
+	// Membership, shared with the heartbeat thread.
+	var actMu sync.Mutex
+	active := make(map[int]bool, nSlaves)
+	for s := 1; s <= nCells; s++ {
+		active[s] = true
+	}
+	isActive := func(s int) bool {
+		actMu.Lock()
+		defer actMu.Unlock()
+		return active[s]
+	}
+	activeRanks := func() []int {
+		actMu.Lock()
+		defer actMu.Unlock()
+		var out []int
+		for s, ok := range active {
+			if ok {
+				out = append(out, s)
+			}
+		}
+		sort.Ints(out)
+		return out
+	}
+	opts.Metrics.LiveSlaves.Set(float64(nCells))
+
+	track := make([]*cellTrack, nCells)
+	for c := 0; c < nCells; c++ {
+		track[c] = &cellTrack{owner: c + 1, fitness: inf()}
+	}
+	merge := func(cells []cellBlob) bool {
+		advanced := false
+		for _, cb := range cells {
+			if cb.CellRank < 0 || cb.CellRank >= nCells {
+				continue
+			}
+			t := track[cb.CellRank]
+			if cb.Iteration < t.iter {
+				continue
+			}
+			if cb.Iteration > t.iter {
+				advanced = true
+			}
+			t.iter = cb.Iteration
+			t.full = cb.Full
+			// Decoding the full state costs tens of milliseconds per cell,
+			// so the center snapshot for owner updates is derived lazily in
+			// buildOU; here only the blob and the bookkeeping move.
+			t.state = nil
+			t.failed = cb.Failed
+			t.errNote = cb.Error
+			t.fitness = cb.Fitness
+		}
+		return advanced
+	}
+
+	// Advisory heartbeat over the active set (Fig 2 transitions only).
+	states := make([]SlaveState, nSlaves+1)
+	var transMu sync.Mutex
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		for {
+			for _, s := range activeRanks() {
+				select {
+				case <-hbStop:
+					return
+				default:
+				}
+				if err := comm.Send(s, tagStatus, nil); err != nil {
+					continue
+				}
+				m, err := comm.RecvTimeout(s, tagStatus, opts.HeartbeatTimeout)
+				if err != nil || len(m.Data) == 0 {
+					logf("heartbeat: slave %d unresponsive", s)
+					continue
+				}
+				opts.Metrics.Heartbeats.Inc()
+				st := SlaveState(m.Data[0])
+				if st != states[s] {
+					transMu.Lock()
+					res.Transitions = append(res.Transitions, Transition{Slave: s, From: states[s], To: st, At: time.Now()})
+					transMu.Unlock()
+					logf("heartbeat: slave %d %s -> %s", s, states[s], st)
+					states[s] = st
+				}
+			}
+			select {
+			case <-hbStop:
+				return
+			case <-time.After(opts.HeartbeatInterval):
+			}
+		}
+	}()
+	stopHeartbeat := func() {
+		close(hbStop)
+		hbWG.Wait()
+	}
+
+	version := 0
+	buildOU := func(adopt []cellBlob, withStates, done, abort bool) ownerUpdate {
+		u := ownerUpdate{Version: version, Owners: make([]int, nCells), Done: done, Abort: abort, Adopt: adopt}
+		for c := 0; c < nCells; c++ {
+			u.Owners[c] = track[c].owner
+			if track[c].failed {
+				u.Failed = append(u.Failed, c)
+			}
+			if withStates {
+				t := track[c]
+				if t.state == nil && len(t.full) > 0 {
+					if f, ferr := core.UnmarshalFullState(t.full); ferr == nil {
+						t.state = f.Cell.Marshal()
+					}
+				}
+				if t.state != nil {
+					u.States = append(u.States, wireState{Rank: c, Iter: t.iter, Data: t.state})
+				}
+			}
+		}
+		return u
+	}
+	sendOU := func(dst int, u ownerUpdate) {
+		payload, err := u.marshal()
+		if err != nil {
+			return
+		}
+		if err := retrySend(comm, dst, tagOwnerUpdate, payload, 4, 10*time.Millisecond, opts.Metrics.SendRetries); err != nil {
+			logf("master: owner update to slave %d failed: %v", dst, err)
+		}
+	}
+
+	// join runs the whole protocol for one reserve slave: deterministic
+	// rebalance choice, release/ack recall of the moving cells' freshest
+	// state, grant to the joiner, broadcast to peers.
+	join := func(src int) {
+		if src <= 0 || src > nSlaves || isActive(src) {
+			return // duplicate request or nonsense rank
+		}
+		actMu.Lock()
+		active[src] = true
+		nActive := 0
+		for _, ok := range active {
+			if ok {
+				nActive++
+			}
+		}
+		actMu.Unlock()
+		opts.Metrics.Joins.Inc()
+		opts.Metrics.LiveSlaves.Set(float64(nActive))
+		iters := make([]int, nCells)
+		for c, t := range track {
+			iters[c] = t.iter
+		}
+		logf("master: slave %d (%s) joining, rebalancing %d cells over %d slaves (iterations %v)", src, names[src], nCells, nActive, iters)
+
+		// Pick the cells to move: repeatedly take the highest-rank
+		// unfinished cell from the most loaded owner (ties: lowest owner
+		// rank) while that owner still has strictly more unfinished
+		// cells than the joiner would. Deterministic, and it converges
+		// to the fair share.
+		load := make(map[int]int)
+		for _, t := range track {
+			if !t.failed && t.iter < target {
+				load[t.owner]++
+			}
+		}
+		var moved []int
+		for {
+			// activeRanks is sorted, so with a strict > the first owner
+			// carrying the maximum load wins — lowest rank breaks ties.
+			heavy, max := 0, len(moved)
+			for _, o := range activeRanks() {
+				if o != src && load[o] > max {
+					heavy, max = o, load[o]
+				}
+			}
+			if heavy == 0 {
+				break
+			}
+			pick := -1
+			for c := nCells - 1; c >= 0; c-- {
+				t := track[c]
+				if t.owner == heavy && !t.failed && t.iter < target {
+					pick = c
+					break
+				}
+			}
+			if pick < 0 {
+				break
+			}
+			moved = append(moved, pick)
+			load[heavy]--
+		}
+		sort.Ints(moved)
+		if len(moved) == 0 {
+			logf("master: no movable cells for joiner %d, granting empty membership", src)
+		}
+
+		// Recall the moving cells' freshest state from their owners.
+		version++
+		recall := make(map[int][]int) // old owner → cells
+		for _, c := range moved {
+			recall[track[c].owner] = append(recall[track[c].owner], c)
+		}
+		var owners []int
+		for o := range recall {
+			owners = append(owners, o)
+		}
+		sort.Ints(owners)
+		for _, o := range owners {
+			order := releaseOrder{Version: version, Cells: recall[o]}
+			payload, merr := order.marshal()
+			if merr != nil {
+				continue
+			}
+			if err := retrySend(comm, o, tagRelease, payload, 4, 10*time.Millisecond, opts.Metrics.SendRetries); err != nil {
+				logf("master: release order to slave %d failed: %v", o, err)
+				continue
+			}
+			// The ack echoes the order's version; acks from older joins
+			// are merged (harmless, monotonic) and skipped.
+			deadline := time.Now().Add(opts.RoundTimeout)
+			for {
+				left := time.Until(deadline)
+				if left <= 0 {
+					logf("master: slave %d never acked release of cells %v; granting from last gathered state", o, recall[o])
+					break
+				}
+				m, err := comm.RecvTimeout(o, tagReleaseAck, left)
+				if err != nil {
+					continue
+				}
+				ack, perr := parseStateUpdate(m.Data)
+				if perr != nil {
+					logf("master: bad release ack from slave %d: %v", o, perr)
+					break
+				}
+				merge(ack.Cells)
+				if ack.Round == version {
+					break
+				}
+			}
+		}
+
+		// Reassign and grant. The joiner gets the run task first (it
+		// spawns the execution thread), then the adoption orders with
+		// seed snapshots; everyone else learns the new aim map.
+		var adopt []cellBlob
+		for _, c := range moved {
+			track[c].owner = src
+			opts.Metrics.Rebalances.Inc()
+			adopt = append(adopt, cellBlob{
+				CellRank: c, Iteration: track[c].iter, Full: track[c].full,
+				Failed: track[c].failed, Error: track[c].errNote, Fitness: track[c].fitness,
+			})
+			logf("master: rebalanced cell %d to joiner %d (from iteration %d)", c, src, track[c].iter)
+		}
+		task := runTask{
+			Cfg: opts.Cfg, CellRank: -1,
+			Node: placements[src].Node, Core: placements[src].Core,
+			Async: true, Joiner: true,
+		}
+		if payload, merr := task.marshal(); merr == nil {
+			if err := retrySend(comm, src, tagRunTask, payload, 4, 10*time.Millisecond, opts.Metrics.SendRetries); err != nil {
+				logf("master: run task to joiner %d failed: %v", src, err)
+			}
+		}
+		for _, dst := range activeRanks() {
+			u := buildOU(nil, true, false, false)
+			if dst == src {
+				u.Adopt = adopt
+			}
+			sendOU(dst, u)
+		}
+	}
+
+	// The poll loop: drain uploads and joins, watch for completion,
+	// nudge on stalls.
+	jobDeadline := time.Time{}
+	if opts.Cfg.TimeLimit > 0 {
+		jobDeadline = started.Add(opts.Cfg.TimeLimit)
+	}
+	abortNow := false
+	lastProgress := time.Now()
+	for {
+		// Joins are drained first: a pending join must be served while its
+		// cells are still mid-flight, not after a heavy merge backlog.
+		for {
+			m, ok, err := comm.TryRecv(mpi.AnySource, tagJoin)
+			if err != nil {
+				stopHeartbeat()
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			join(m.Src)
+			lastProgress = time.Now()
+		}
+		// Uploads are cumulative inventories, so within one drain only the
+		// newest message per source matters; decoding every queued backlog
+		// entry would cost more wall-clock than a training iteration and
+		// starve the join/done checks.
+		drained := false
+		latest := make(map[int][]byte)
+		for n := 0; n < asyncMasterDrainMax; n++ {
+			m, ok, err := comm.TryRecv(mpi.AnySource, tagStateUpdate)
+			if err != nil {
+				stopHeartbeat()
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			drained = true
+			opts.Metrics.StateUpdates.Inc()
+			latest[m.Src] = m.Data
+		}
+		var uploaders []int
+		for src := range latest {
+			uploaders = append(uploaders, src)
+		}
+		sort.Ints(uploaders)
+		for _, src := range uploaders {
+			upd, perr := parseStateUpdate(latest[src])
+			if perr != nil {
+				logf("master: bad state update from slave %d: %v", src, perr)
+				continue
+			}
+			if merge(upd.Cells) {
+				lastProgress = time.Now()
+			}
+		}
+
+		abortNow = interrupted(opts.Interrupt) ||
+			(!jobDeadline.IsZero() && time.Now().After(jobDeadline))
+		done := true
+		for _, t := range track {
+			if !t.failed && t.iter < target {
+				done = false
+				break
+			}
+		}
+		if done || abortNow {
+			if abortNow {
+				res.Aborted = true
+				why := "time limit exceeded"
+				if interrupted(opts.Interrupt) {
+					why = "interrupted"
+				}
+				logf("master: %s, finishing with abort", why)
+			}
+			break
+		}
+
+		// Stall nudge: re-request inventories and re-send a fresh owner
+		// update with seed states — either heals a gate starved by lost
+		// pushes or a master view starved by lost uploads.
+		if time.Since(lastProgress) >= opts.RoundTimeout {
+			logf("master: no progress for %s, nudging %d slaves", opts.RoundTimeout, len(activeRanks()))
+			version++
+			for _, s := range activeRanks() {
+				comm.Send(s, tagStateResend, nil) //nolint:errcheck
+				sendOU(s, buildOU(nil, true, false, false))
+			}
+			lastProgress = time.Now()
+		}
+		if !drained {
+			time.Sleep(asyncMasterPoll)
+		}
+	}
+	logf("master: training done, collecting results")
+
+	// Tell everyone training is over, then collect with retries (an
+	// empty reply means "still finalising").
+	version++
+	doneOU := buildOU(nil, true, true, abortNow)
+	for _, s := range activeRanks() {
+		sendOU(s, doneOU)
+	}
+	prof := profile.New()
+	res.Reports = make([]SlaveReport, nCells)
+	gotCell := make([]bool, nCells)
+	for _, s := range activeRanks() {
+		backoff := 20 * time.Millisecond
+		collected := false
+		for attempt := 0; attempt < 3*opts.MaxStrikes && !collected; attempt++ {
+			if err := comm.Send(s, tagCollect, nil); err != nil {
+				break
+			}
+			m, err := comm.RecvTimeout(s, tagResult, opts.RoundTimeout)
+			if err != nil || len(m.Data) == 0 {
+				sendOU(s, doneOU) // the done signal may have been lost
+				time.Sleep(backoff)
+				if backoff < 500*time.Millisecond {
+					backoff *= 2
+				}
+				continue
+			}
+			reps, perr := parseSlaveReports(m.Data)
+			if perr != nil {
+				logf("master: bad report from slave %d: %v", s, perr)
+				break
+			}
+			for _, rep := range reps {
+				if rep.CellRank < 0 || rep.CellRank >= nCells || gotCell[rep.CellRank] {
+					continue
+				}
+				res.Reports[rep.CellRank] = rep
+				gotCell[rep.CellRank] = true
+				if snap, derr := profile.DecodeSnapshot(rep.Profile); derr == nil {
+					prof.Merge(snap)
+				}
+				if rep.Aborted {
+					res.Aborted = true
+				}
+			}
+			collected = true
+		}
+		if !collected {
+			logf("master: slave %d never delivered its reports", s)
+		}
+	}
+
+	// Synthesize reports for cells whose owner never reported from the
+	// master's merged view, exactly like resilient recovery.
+	for c := 0; c < nCells; c++ {
+		if gotCell[c] {
+			continue
+		}
+		t := track[c]
+		rep := SlaveReport{
+			CellRank: c, Node: "recovered", Iterations: t.iter,
+			MixtureFitness: t.fitness, State: t.state, Full: t.full,
+			Error: fmt.Sprintf("report synthesized from master state (owner slave %d lost); %s", t.owner, t.errNote),
+		}
+		if t.failed || t.iter == 0 {
+			rep.MixtureFitness = inf()
+		}
+		if f, ferr := core.UnmarshalFullState(t.full); ferr == nil {
+			rep.MixtureRanks = append([]int(nil), f.MixtureRanks...)
+			rep.MixtureWeights = append([]float64(nil), f.MixtureWeights...)
+		}
+		res.Reports[c] = rep
+		logf("master: synthesized report for cell %d at iteration %d", c, t.iter)
+	}
+
+	// Shut every connected rank down, reserves that never joined too.
+	for s := 1; s <= nSlaves; s++ {
+		comm.Send(s, tagShutdown, nil) //nolint:errcheck
+	}
+	stopHeartbeat()
+
+	best := 0
+	for i, r := range res.Reports {
+		if r.MixtureFitness < res.Reports[best].MixtureFitness {
+			best = i
+		}
+	}
+	res.BestCell = res.Reports[best].CellRank
+	res.Profile = prof.Snapshot()
+	res.Elapsed = time.Since(started)
+	logf("master: best cell %d (mixture fitness %.4f), elapsed %s",
+		res.BestCell, res.Reports[best].MixtureFitness, res.Elapsed.Round(time.Millisecond))
+	return res, nil
+}

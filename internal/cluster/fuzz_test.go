@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// seedOwnerUpdateBytes builds a representative valid owner update for the
+// fuzz corpus: a four-cell map with a failed cell, an adoption order and a
+// seed state, round-tripped through marshal.
+func seedOwnerUpdateBytes(f *testing.F) []byte {
+	f.Helper()
+	u := ownerUpdate{
+		Version: 3,
+		Owners:  []int{1, 2, 5, 5},
+		Failed:  []int{1},
+		Adopt: []cellBlob{
+			{CellRank: 2, Iteration: 4, Full: []byte{1, 2, 3}, Fitness: 0.5},
+		},
+		States: []wireState{{Rank: 3, Iter: 4, Data: []byte{9, 8}}},
+		Done:   false,
+	}
+	payload, err := u.marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	return payload
+}
+
+// FuzzParseOwnerUpdate asserts the membership decoder never panics and
+// never hands the slave loop a structurally invalid update: every accepted
+// message satisfies the invariants executeAsync relies on without
+// re-checking (bounded owner map, in-range cell lists, duplicate-free
+// adoption orders) and re-encodes cleanly.
+func FuzzParseOwnerUpdate(f *testing.F) {
+	seed := seedOwnerUpdateBytes(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2]) // truncated mid-object
+	f.Add([]byte{})
+	f.Add([]byte(`{}`))                          // no owner map
+	f.Add([]byte(`{"version":-1,"owners":[1]}`)) // negative version
+	f.Add([]byte(`{"version":0,"owners":[1,2],"failed":[2]}`))
+	f.Add([]byte(`{"version":0,"owners":[1,2],"adopt":[{"cell":0},{"cell":0}]}`))
+	f.Add([]byte(`{"version":0,"owners":[-3]}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, err := parseOwnerUpdate(data)
+		if err != nil {
+			return
+		}
+		n := len(u.Owners)
+		if u.Version < 0 || n == 0 || n > maxProtocolCells {
+			t.Fatalf("accepted update breaks bounds: version %d, %d owners", u.Version, n)
+		}
+		if len(u.Failed) > n || len(u.Adopt) > n || len(u.States) > n {
+			t.Fatalf("accepted update lists exceed %d cells", n)
+		}
+		for _, o := range u.Owners {
+			if o < 0 {
+				t.Fatalf("accepted update has negative owner %d", o)
+			}
+		}
+		for _, c := range u.Failed {
+			if c < 0 || c >= n {
+				t.Fatalf("accepted update fails cell %d of %d", c, n)
+			}
+		}
+		seen := make(map[int]bool, len(u.Adopt))
+		for _, ad := range u.Adopt {
+			if ad.CellRank < 0 || ad.CellRank >= n || ad.Iteration < 0 || seen[ad.CellRank] {
+				t.Fatalf("accepted update has bad adopt order %+v", ad)
+			}
+			seen[ad.CellRank] = true
+		}
+		for _, ws := range u.States {
+			if ws.Rank < 0 || ws.Rank >= n {
+				t.Fatalf("accepted update seeds cell %d of %d", ws.Rank, n)
+			}
+		}
+		if _, err := u.marshal(); err != nil {
+			t.Fatalf("accepted update does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzParseReleaseOrder does the same for the recall half of the join
+// protocol: accepted orders are bounded, in-range and duplicate-free.
+func FuzzParseReleaseOrder(f *testing.F) {
+	seed, err := releaseOrder{Version: 2, Cells: []int{0, 3, 1}}.marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte{})
+	f.Add([]byte(`{}`))                          // no cells
+	f.Add([]byte(`{"version":-2,"cells":[0]}`))  // negative version
+	f.Add([]byte(`{"version":0,"cells":[0,0]}`)) // duplicate
+	f.Add([]byte(`{"version":0,"cells":[-1]}`))
+	f.Add([]byte(`{"version":0,"cells":[999999]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := parseReleaseOrder(data)
+		if err != nil {
+			return
+		}
+		if r.Version < 0 || len(r.Cells) == 0 || len(r.Cells) > maxProtocolCells {
+			t.Fatalf("accepted order breaks bounds: version %d, %d cells", r.Version, len(r.Cells))
+		}
+		seen := make(map[int]bool, len(r.Cells))
+		for _, c := range r.Cells {
+			if c < 0 || c >= maxProtocolCells || seen[c] {
+				t.Fatalf("accepted order releases bad cell %d", c)
+			}
+			seen[c] = true
+		}
+		if _, err := r.marshal(); err != nil {
+			t.Fatalf("accepted order does not re-encode: %v", err)
+		}
+	})
+}

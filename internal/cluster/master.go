@@ -44,6 +44,16 @@ type MasterOptions struct {
 	// (resilient mode only); 0 defaults to 3.
 	MaxStrikes int
 
+	// Async enables the asynchronous cluster exchange: slaves push cell
+	// snapshots directly to each other under a bounded-staleness window
+	// (Cfg.AsyncStaleness) and the master only tracks inventory and
+	// membership. Mutually exclusive with Resilient.
+	Async bool
+	// JoinSlots is how many extra communicator ranks beyond
+	// Cfg.NumTasks() are connected reserves that may join mid-run
+	// (async mode only).
+	JoinSlots int
+
 	// Interrupt, when non-nil, aborts the job once closed: the master
 	// tells every slave to stop at its next iteration boundary and then
 	// collects results normally, exactly as when Cfg.TimeLimit expires.
@@ -54,9 +64,10 @@ type MasterOptions struct {
 }
 
 // RunMaster executes the master role on rank 0 of comm (Fig 3, left). The
-// communicator must have exactly Cfg.NumTasks() ranks: the master plus one
-// slave per grid cell. Every rank must call SplitLocal first so the
-// collective contexts exist on all processes.
+// communicator must have exactly Cfg.NumTasks() ranks — the master plus
+// one slave per grid cell — plus JoinSlots connected reserves in async
+// mode. Every rank must call SplitLocal first so the collective contexts
+// exist on all processes.
 func RunMaster(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) {
 	if comm.Rank() != 0 {
 		return nil, fmt.Errorf("cluster: RunMaster must run on rank 0, got %d", comm.Rank())
@@ -64,7 +75,17 @@ func RunMaster(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) {
 	if err := opts.Cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if want := opts.Cfg.NumTasks(); comm.Size() != want {
+	if opts.Async && opts.Resilient {
+		return nil, fmt.Errorf("cluster: Async and Resilient modes are mutually exclusive")
+	}
+	if opts.JoinSlots < 0 {
+		return nil, fmt.Errorf("cluster: negative JoinSlots %d", opts.JoinSlots)
+	}
+	want := opts.Cfg.NumTasks()
+	if opts.Async {
+		want += opts.JoinSlots
+	}
+	if comm.Size() != want {
 		return nil, fmt.Errorf("cluster: config needs %d tasks, communicator has %d", want, comm.Size())
 	}
 	if opts.Inventory == nil {
@@ -84,6 +105,9 @@ func RunMaster(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) {
 	}
 	if opts.Metrics == nil {
 		opts.Metrics = NewMetrics(nil)
+	}
+	if opts.Async {
+		return runMasterAsync(comm, opts)
 	}
 	if opts.Resilient {
 		return runMasterResilient(comm, opts)

@@ -23,6 +23,10 @@ type Metrics struct {
 	Heartbeats *telemetry.Counter
 	// LiveSlaves tracks the current number of live slaves.
 	LiveSlaves *telemetry.Gauge
+	// Joins counts slaves that joined a running job (async mode).
+	Joins *telemetry.Counter
+	// Rebalances counts cells moved to a joiner (async mode).
+	Rebalances *telemetry.Counter
 }
 
 // NewMetrics registers the master metrics on reg; a nil registry yields
@@ -36,6 +40,8 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		SendRetries:  reg.Counter("cluster_send_retries_total", "Master messages re-sent after a failed attempt."),
 		Heartbeats:   reg.Counter("cluster_heartbeats_total", "Status polls answered by slaves."),
 		LiveSlaves:   reg.Gauge("cluster_live_slaves", "Slaves currently participating in the job."),
+		Joins:        reg.Counter("cluster_joins_total", "Slaves that joined a running job mid-run."),
+		Rebalances:   reg.Counter("cluster_rebalances_total", "Cells moved to a joiner during rebalancing."),
 	}
 }
 

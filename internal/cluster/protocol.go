@@ -36,7 +36,32 @@ const (
 	// tagStateResend: master → slave (resilient mode), ask the slave to
 	// re-send its latest state update (the previous one was lost).
 	tagStateResend = 109
+	// tagJoin: slave → master (async mode), a connected-but-idle slave
+	// asks to join the running job and receive rebalanced cells.
+	tagJoin = 110
+	// tagOwnerUpdate: master → slave (async mode), the ownerUpdate with
+	// the current cell→owner map, adoption orders and seed states. The
+	// join grant, the rebalance broadcast and the done signal are all
+	// instances of this one message.
+	tagOwnerUpdate = 111
+	// tagRelease: master → slave (async mode), order the slave to stop
+	// training the listed cells and return their state (a rebalance is
+	// the inverse of an eviction: cells move toward a joiner, not away
+	// from a corpse).
+	tagRelease = 112
+	// tagReleaseAck: slave → master (async mode), the released cells'
+	// final state as a stateUpdate payload.
+	tagReleaseAck = 113
+	// tagAsyncState: slave ↔ slave (async mode), a cell's center snapshot
+	// pushed directly to the owners of its influence set — the cluster
+	// form of core.RunAsync's exchange, with no master round-trip.
+	tagAsyncState = 114
 )
+
+// maxProtocolCells bounds every cell list a protocol message may carry —
+// generously above the largest supported grid (64×64), small enough that
+// a hostile or corrupted payload cannot balloon the master's state.
+const maxProtocolCells = 4096
 
 // SlaveState is the state machine of Fig 2.
 type SlaveState byte
@@ -78,6 +103,14 @@ type runTask struct {
 	// (tagStateUpdate/tagNeighborSet rounds) instead of the LOCAL
 	// allgather, so the master can reassign cells when a slave dies.
 	Resilient bool `json:"resilient,omitempty"`
+	// Async selects the asynchronous cluster exchange: cells push center
+	// snapshots directly to the owners of their influence set
+	// (tagAsyncState) under a bounded-staleness window, with no rounds
+	// and no barrier.
+	Async bool `json:"async,omitempty"`
+	// Joiner marks a task granted to a mid-run joiner: CellRank is -1 and
+	// the slave's initial cells arrive in the first ownerUpdate instead.
+	Joiner bool `json:"joiner,omitempty"`
 }
 
 func (r runTask) marshal() ([]byte, error) { return json.Marshal(r) }
@@ -217,6 +250,121 @@ func parseNeighborSet(data []byte) (neighborSet, error) {
 		return n, fmt.Errorf("cluster: parsing neighbor set: %w", err)
 	}
 	return n, nil
+}
+
+// ownerUpdate is the master's asynchronous-mode control message: the
+// authoritative cell→owner map plus whatever this particular update
+// delivers — adoption orders for a joiner or rebalance target, seed
+// snapshots to prime neighbour views, failed-cell marks that lift the
+// staleness gate, or the done flag that ends training. One message type
+// with one validating parser keeps the decoder surface small enough to
+// fuzz exhaustively.
+type ownerUpdate struct {
+	// Version orders updates; a slave ignores any update older than the
+	// newest it has applied (resends and reordered deliveries are
+	// expected under chaos).
+	Version int `json:"version"`
+	// Owners maps cell rank → owning slave world rank (0 = unassigned).
+	Owners []int `json:"owners"`
+	// Failed lists cells whose training errored; peers stop gating on
+	// them.
+	Failed []int `json:"failed,omitempty"`
+	// Adopt lists cells the receiving slave must take over, restoring
+	// the embedded full state.
+	Adopt []cellBlob `json:"adopt,omitempty"`
+	// States seeds neighbour views (a joiner starts mid-run and cannot
+	// wait for organic pushes to cover the whole neighbourhood).
+	States []wireState `json:"states,omitempty"`
+	// Done ends training; Abort marks a time-limit or interrupt stop.
+	Done  bool `json:"done,omitempty"`
+	Abort bool `json:"abort,omitempty"`
+}
+
+func (u ownerUpdate) marshal() ([]byte, error) { return json.Marshal(u) }
+
+// parseOwnerUpdate decodes and validates an ownerUpdate. Every accepted
+// message satisfies: non-negative version, bounded cell lists, every cell
+// rank within the owner map, and no duplicate adoption orders — the
+// invariants the async slave loop relies on without re-checking.
+func parseOwnerUpdate(data []byte) (ownerUpdate, error) {
+	var u ownerUpdate
+	if err := json.Unmarshal(data, &u); err != nil {
+		return u, fmt.Errorf("cluster: parsing owner update: %w", err)
+	}
+	if u.Version < 0 {
+		return u, fmt.Errorf("cluster: owner update with negative version %d", u.Version)
+	}
+	n := len(u.Owners)
+	if n == 0 || n > maxProtocolCells {
+		return u, fmt.Errorf("cluster: owner update with %d cells (want 1..%d)", n, maxProtocolCells)
+	}
+	for c, o := range u.Owners {
+		if o < 0 {
+			return u, fmt.Errorf("cluster: cell %d has negative owner %d", c, o)
+		}
+	}
+	if len(u.Failed) > n || len(u.Adopt) > n || len(u.States) > n {
+		return u, fmt.Errorf("cluster: owner update lists exceed %d cells", n)
+	}
+	for _, c := range u.Failed {
+		if c < 0 || c >= n {
+			return u, fmt.Errorf("cluster: failed cell %d out of range [0,%d)", c, n)
+		}
+	}
+	seen := make(map[int]bool, len(u.Adopt))
+	for _, ad := range u.Adopt {
+		if ad.CellRank < 0 || ad.CellRank >= n {
+			return u, fmt.Errorf("cluster: adopt cell %d out of range [0,%d)", ad.CellRank, n)
+		}
+		if seen[ad.CellRank] {
+			return u, fmt.Errorf("cluster: duplicate adopt order for cell %d", ad.CellRank)
+		}
+		seen[ad.CellRank] = true
+		if ad.Iteration < 0 {
+			return u, fmt.Errorf("cluster: adopt cell %d with negative iteration %d", ad.CellRank, ad.Iteration)
+		}
+	}
+	for _, ws := range u.States {
+		if ws.Rank < 0 || ws.Rank >= n {
+			return u, fmt.Errorf("cluster: seed state for cell %d out of range [0,%d)", ws.Rank, n)
+		}
+	}
+	return u, nil
+}
+
+// releaseOrder tells a slave to stop training the listed cells and return
+// their state (tagReleaseAck); the cells are moving to another owner.
+type releaseOrder struct {
+	Version int   `json:"version"`
+	Cells   []int `json:"cells"`
+}
+
+func (r releaseOrder) marshal() ([]byte, error) { return json.Marshal(r) }
+
+// parseReleaseOrder decodes and validates a releaseOrder: non-negative
+// version, a bounded, duplicate-free, non-negative cell list.
+func parseReleaseOrder(data []byte) (releaseOrder, error) {
+	var r releaseOrder
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("cluster: parsing release order: %w", err)
+	}
+	if r.Version < 0 {
+		return r, fmt.Errorf("cluster: release order with negative version %d", r.Version)
+	}
+	if len(r.Cells) == 0 || len(r.Cells) > maxProtocolCells {
+		return r, fmt.Errorf("cluster: release order with %d cells (want 1..%d)", len(r.Cells), maxProtocolCells)
+	}
+	seen := make(map[int]bool, len(r.Cells))
+	for _, c := range r.Cells {
+		if c < 0 || c >= maxProtocolCells {
+			return r, fmt.Errorf("cluster: release of cell %d out of range [0,%d)", c, maxProtocolCells)
+		}
+		if seen[c] {
+			return r, fmt.Errorf("cluster: duplicate release of cell %d", c)
+		}
+		seen[c] = true
+	}
+	return r, nil
 }
 
 // Transition is one observed slave state change, the raw material of the

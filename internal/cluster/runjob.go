@@ -17,6 +17,9 @@ func RunJob(opts MasterOptions) (*JobResult, error) {
 		return nil, err
 	}
 	n := opts.Cfg.NumTasks()
+	if opts.Async {
+		n += opts.JoinSlots // reserves idle until shutdown without a signal
+	}
 	world, err := mpi.NewWorld(n)
 	if err != nil {
 		return nil, err
@@ -79,21 +82,65 @@ func ChaosPlan(seed uint64, drop, dup, delay float64) mpi.FaultPlan {
 	}
 }
 
+// AsyncChaosPlan builds a fault-injection plan scoped to the async
+// runtime's chatty streams — heartbeats, inventory uploads and the
+// peer-to-peer snapshot pushes. The membership protocol (join, release,
+// owner updates) and the collection protocol stay reliable, mirroring how
+// ChaosPlan keeps the bootstrap clean.
+func AsyncChaosPlan(seed uint64, drop, dup, delay float64) mpi.FaultPlan {
+	return mpi.FaultPlan{
+		Seed:      seed,
+		DropProb:  drop,
+		DupProb:   dup,
+		DelayProb: delay,
+		Tags:      []int{tagStatus, tagStateUpdate, tagAsyncState},
+	}
+}
+
 // RunJobChaos is RunJob with a deterministic fault plan applied to every
 // rank's communicator (see mpi.FaultyComm). Slave failures caused by the
 // plan — injected crashes, or the master closing the world after the job —
 // are expected and not reported as errors; the master's outcome decides.
 func RunJobChaos(opts MasterOptions, plan mpi.FaultPlan) (*JobResult, error) {
+	return runJobFaulty(opts, &plan, nil)
+}
+
+// JoinSpec describes one elastic reserve slave of RunJobWithJoiners.
+type JoinSpec struct {
+	// Signal, once closed, makes the reserve ask the master to join the
+	// running job. A nil Signal never joins (the reserve idles until
+	// shutdown).
+	Signal <-chan struct{}
+}
+
+// RunJobWithJoiners runs an async-mode job with connected reserve slaves
+// that join mid-run when their signal fires. The world holds
+// Cfg.NumTasks() + len(joins) ranks; opts.Async is forced on and
+// opts.JoinSlots is set to len(joins). plan, when non-nil, is applied to
+// every rank's communicator as in RunJobChaos.
+func RunJobWithJoiners(opts MasterOptions, plan *mpi.FaultPlan, joins []JoinSpec) (*JobResult, error) {
+	opts.Async = true
+	opts.JoinSlots = len(joins)
+	return runJobFaulty(opts, plan, joins)
+}
+
+// runJobFaulty is the shared in-process job runner behind the chaos and
+// elastic entry points.
+func runJobFaulty(opts MasterOptions, plan *mpi.FaultPlan, joins []JoinSpec) (*JobResult, error) {
 	if err := opts.Cfg.Validate(); err != nil {
 		return nil, err
 	}
 	n := opts.Cfg.NumTasks()
+	if opts.Async {
+		n += opts.JoinSlots
+	}
 	world, err := mpi.NewWorld(n)
 	if err != nil {
 		return nil, err
 	}
 	defer world.Close()
 
+	nWorkers := opts.Cfg.NumTasks()
 	var res *JobResult
 	var masterErr error
 	var wg sync.WaitGroup
@@ -108,7 +155,9 @@ func RunJobChaos(opts MasterOptions, plan mpi.FaultPlan) (*JobResult, error) {
 				}
 				return
 			}
-			comm = mpi.FaultyComm(comm, plan)
+			if plan != nil {
+				comm = mpi.FaultyComm(comm, *plan)
+			}
 			local, err := SplitLocal(comm)
 			if err != nil {
 				if rank == 0 {
@@ -123,9 +172,13 @@ func RunJobChaos(opts MasterOptions, plan mpi.FaultPlan) (*JobResult, error) {
 				world.Close()
 				return
 			}
+			var sopts SlaveOptions
+			if rank >= nWorkers {
+				sopts.JoinSignal = joins[rank-nWorkers].Signal
+			}
 			// Slave errors are tolerated: a chaos run kills slaves on
 			// purpose and the world close above ends the stragglers.
-			_ = RunSlave(comm, local)
+			_ = RunSlaveOpts(comm, local, sopts)
 		}(rank)
 	}
 	wg.Wait()

@@ -34,6 +34,14 @@ type slave struct {
 	quit       chan struct{} // closed when the control loop exits
 	neighborCh chan neighborSet
 
+	// Async-mode plumbing: owner updates and release orders flow from
+	// the control loop to the execution thread; tagAsyncState pushes are
+	// received by the execution thread directly (they come from peers,
+	// not the master, so the two receivers never contend for a message).
+	async     bool
+	ownerCh   chan ownerUpdate
+	releaseCh chan releaseOrder
+
 	// updMu guards latestUpdate (the cached last state upload, re-sent on
 	// tagStateResend) and reports (the multi-cell result list).
 	updMu        sync.Mutex
@@ -46,10 +54,25 @@ func (s *slave) currentState() SlaveState {
 	return SlaveState(s.state.Load())
 }
 
+// SlaveOptions tunes RunSlaveOpts beyond the plain worker role.
+type SlaveOptions struct {
+	// JoinSignal, when non-nil, marks this slave as an elastic reserve:
+	// it idles after connecting, and when the channel is closed it asks
+	// the master to join the running job (tagJoin) and receive
+	// rebalanced cells. Only meaningful when the master runs in async
+	// mode.
+	JoinSignal <-chan struct{}
+}
+
 // RunSlave executes the slave role on a non-zero rank of comm. local must
 // be the communicator returned by SplitLocal on this rank. The function
 // returns when the master sends the shutdown message.
 func RunSlave(comm *mpi.Comm, local *mpi.Comm) error {
+	return RunSlaveOpts(comm, local, SlaveOptions{})
+}
+
+// RunSlaveOpts is RunSlave with elastic-membership options.
+func RunSlaveOpts(comm *mpi.Comm, local *mpi.Comm, sopts SlaveOptions) error {
 	if comm.Rank() == 0 {
 		return fmt.Errorf("cluster: RunSlave must not run on rank 0")
 	}
@@ -62,6 +85,8 @@ func RunSlave(comm *mpi.Comm, local *mpi.Comm) error {
 		done:       make(chan struct{}),
 		quit:       make(chan struct{}),
 		neighborCh: make(chan neighborSet, 8),
+		ownerCh:    make(chan ownerUpdate, 8),
+		releaseCh:  make(chan releaseOrder, 8),
 	}
 	s.setState(StateInactive)
 	// Whatever ends the control loop (shutdown, comm failure, injected
@@ -75,6 +100,18 @@ func RunSlave(comm *mpi.Comm, local *mpi.Comm) error {
 	}
 	if err := comm.Send(0, tagNodeName, []byte(host)); err != nil {
 		return fmt.Errorf("cluster: sending node name: %w", err)
+	}
+
+	if sopts.JoinSignal != nil {
+		// Elastic reserve: ask to join when signalled. Best-effort — a
+		// dead master ends the job anyway.
+		go func() {
+			select {
+			case <-sopts.JoinSignal:
+				comm.Send(0, tagJoin, []byte(host)) //nolint:errcheck
+			case <-s.quit:
+			}
+		}()
 	}
 
 	// Main thread: serve the control protocol.
@@ -95,10 +132,14 @@ func RunSlave(comm *mpi.Comm, local *mpi.Comm) error {
 			s.setState(StateProcessing)
 			// Launch the execution thread (Fig 3: "Create execution
 			// thread"); the main thread keeps serving heartbeats.
-			if task.Resilient {
+			switch {
+			case task.Async:
+				s.async = true
+				go s.executeAsync(task)
+			case task.Resilient:
 				s.resilient = true
 				go s.executeResilient(task)
-			} else {
+			default:
 				go s.execute(task)
 			}
 		case tagStatus:
@@ -118,6 +159,34 @@ func RunSlave(comm *mpi.Comm, local *mpi.Comm) error {
 			case s.neighborCh <- ns:
 			default:
 			}
+		case tagOwnerUpdate:
+			u, err := parseOwnerUpdate(m.Data)
+			if err != nil {
+				return err
+			}
+			if s.currentState() == StateInactive {
+				break // no execution thread yet; the master re-sends
+			}
+			// Blocking hand-off: an owner update can carry a join grant
+			// or the done signal, which must not be dropped. The
+			// execution thread drains the channel every pass, and a
+			// finished thread is covered by the done fallback.
+			select {
+			case s.ownerCh <- u:
+			case <-s.done:
+			}
+		case tagRelease:
+			r, err := parseReleaseOrder(m.Data)
+			if err != nil {
+				return err
+			}
+			if s.currentState() == StateInactive {
+				break
+			}
+			select {
+			case s.releaseCh <- r:
+			case <-s.done:
+			}
 		case tagStateResend:
 			s.updMu.Lock()
 			upd := s.latestUpdate
@@ -128,7 +197,7 @@ func RunSlave(comm *mpi.Comm, local *mpi.Comm) error {
 				}
 			}
 		case tagCollect:
-			if s.resilient {
+			if s.resilient || s.async {
 				// Non-blocking: an empty reply means "not finished yet"
 				// and the master retries after re-sending the last round.
 				var payload []byte

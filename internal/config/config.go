@@ -99,6 +99,28 @@ type Config struct {
 	// the training data (N = number of cells), after Toutouh et al.,
 	// "Data dieting in GAN training" (the paper's reference [20]).
 	DataDieting bool `json:"data_dieting"`
+	// AsyncStaleness is the bounded-staleness window S of the asynchronous
+	// exchange modes (core.RunAsync and the cluster async runtime): a cell
+	// only blocks before an iteration that would leave it more than S
+	// versions ahead of a live neighbour's last absorbed snapshot — there
+	// is never a global barrier. 0 selects the default window
+	// (DefaultAsyncStaleness).
+	AsyncStaleness int `json:"async_staleness,omitempty"`
+}
+
+// DefaultAsyncStaleness is the staleness window used when AsyncStaleness
+// is 0: wide enough that uniform pacing never blocks, tight enough that a
+// partitioned neighbour halts its influence set instead of training on
+// ever-staler state.
+const DefaultAsyncStaleness = 4
+
+// EffectiveAsyncStaleness resolves the configured staleness window,
+// applying the default for the zero value.
+func (c Config) EffectiveAsyncStaleness() int {
+	if c.AsyncStaleness <= 0 {
+		return DefaultAsyncStaleness
+	}
+	return c.AsyncStaleness
 }
 
 // Default returns the paper's Table I settings on a 2×2 grid.
@@ -225,6 +247,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("config: dataset size %d must be non-negative", c.DatasetSize)
 	case c.BatchesPerIteration < 0:
 		return fmt.Errorf("config: batches per iteration %d must be non-negative", c.BatchesPerIteration)
+	case c.AsyncStaleness < 0:
+		return fmt.Errorf("config: async staleness %d must be non-negative", c.AsyncStaleness)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -15,13 +16,34 @@ import (
 // asynchronous mode.
 const asyncStateTag = 17
 
+// asyncGatePoll is how long a staleness-gated cell sleeps between mailbox
+// drains while waiting for a fresher neighbour snapshot.
+const asyncGatePoll = 200 * time.Microsecond
+
+// asyncTestHooks observe the asynchronous exchange from tests (the
+// staleness-bound property test and the absorb-reordering regression
+// test). All callbacks may be invoked concurrently from per-rank
+// goroutines; nil callbacks are skipped.
+type asyncTestHooks struct {
+	// onPush fires after rank src sends its snapshot at iteration iter to
+	// its influence set.
+	onPush func(src, iter int)
+	// onApply fires after rank dst applies src's snapshot at iteration
+	// iter to its neighbour view.
+	onApply func(dst, src, iter int)
+}
+
 // RunAsync trains the grid with fully asynchronous cells, the execution
 // style §II-B describes: each cell iterates at its own pace, pushes its
 // updated center to the cells whose neighbourhoods contain it (its
 // influence set), and before each iteration absorbs whatever neighbour
 // updates have arrived — no barrier, no collective. Fast cells are never
-// held back by slow ones, at the cost of run-to-run nondeterminism
-// (neighbour staleness depends on scheduling).
+// held back by slow ones, except by the bounded-staleness window
+// (Cfg.AsyncStaleness): a cell blocks before an iteration that would
+// leave it more than S versions ahead of a neighbour's last absorbed
+// snapshot, which caps divergence without reintroducing a barrier. The
+// mode remains run-to-run nondeterministic (neighbour staleness depends
+// on scheduling).
 func RunAsync(cfg config.Config, opts RunOptions) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -72,9 +94,22 @@ func asyncCellLoop(cfg config.Config, rank int, g *grid.Grid, world *mpi.World,
 	if err != nil {
 		return err
 	}
+	if opts.commWrap != nil {
+		comm = opts.commWrap(rank, comm)
+	}
+	hooks := opts.asyncHooks
 	cell, err := NewCellWithData(cfg, rank, g, prof, opts.Data)
 	if err != nil {
 		return err
+	}
+	tracker := NewStalenessTracker(cfg.EffectiveAsyncStaleness())
+	// The staleness gate watches every grid neighbour except the cell
+	// itself (a cell is always current on its own state).
+	var gateOn []int
+	for _, nb := range g.Neighborhood(rank) {
+		if nb != rank {
+			gateOn = append(gateOn, nb)
+		}
 	}
 
 	// push sends this cell's current center to every cell whose
@@ -97,37 +132,52 @@ func asyncCellLoop(cfg config.Config, rank int, g *grid.Grid, world *mpi.World,
 				return err
 			}
 		}
+		if hooks != nil && hooks.onPush != nil {
+			hooks.onPush(rank, state.Iteration)
+		}
 		return nil
 	}
 
-	// absorb drains every pending neighbour update, applying only the
-	// newest snapshot per source rank.
+	// absorb drains every pending neighbour update and applies, per
+	// source, the newest snapshot of the drain — but only when it is at
+	// least as new as everything already applied from that source. The
+	// cross-drain check is the tracker's: the drain-local map alone cannot
+	// stop a delayed or duplicated snapshot that arrives drains after a
+	// newer one was applied from regressing the neighbour view.
 	absorb := func() error {
 		defer prof.Start(profile.RoutineGather)()
-		latest := map[int]*CellState{}
+		var latest map[int]*CellState
 		for {
-			ok, err := comm.Probe(mpi.AnySource, asyncStateTag)
+			m, ok, err := comm.TryRecv(mpi.AnySource, asyncStateTag)
 			if err != nil {
 				return err
 			}
 			if !ok {
 				break
 			}
-			m, err := comm.Recv(mpi.AnySource, asyncStateTag)
-			if err != nil {
-				return err
-			}
 			s, err := UnmarshalCellState(m.Data)
 			if err != nil {
 				return err
 			}
 			if prev, dup := latest[s.Rank]; !dup || s.Iteration >= prev.Iteration {
+				if latest == nil {
+					latest = make(map[int]*CellState)
+				}
 				latest[s.Rank] = s
 			}
 		}
-		for _, s := range latest {
+		for _, src := range sortedStateRanks(latest) {
+			s := latest[src]
+			if !tracker.ShouldApply(s.Rank, s.Iteration) {
+				continue
+			}
 			if err := cell.UpdateNeighbor(s); err != nil {
 				return err
+			}
+			tracker.MarkApplied(s.Rank, s.Iteration)
+			inst.observeStaleness(cell.Iteration() - s.Iteration)
+			if hooks != nil && hooks.onApply != nil {
+				hooks.onApply(rank, s.Rank, s.Iteration)
 			}
 		}
 		return nil
@@ -137,7 +187,8 @@ func asyncCellLoop(cfg config.Config, rank int, g *grid.Grid, world *mpi.World,
 		return err
 	}
 	var last IterStats
-	for iter := 0; iter < cfg.Iterations; iter++ {
+	stopped := false
+	for iter := 0; iter < cfg.Iterations && !stopped; iter++ {
 		// No barrier in this mode, so each rank honours the stop signal
 		// independently at its own iteration boundary.
 		if stopRequested(opts) {
@@ -145,6 +196,25 @@ func asyncCellLoop(cfg config.Config, rank int, g *grid.Grid, world *mpi.World,
 		}
 		if err := absorb(); err != nil {
 			return err
+		}
+		// Bounded-staleness gate: wait, still draining the mailbox, while
+		// completing this iteration would leave the cell more than S
+		// versions ahead of a neighbour's last absorbed snapshot. The
+		// least-advanced cell never satisfies the stale predicate, so the
+		// grid as a whole always makes progress.
+		for len(tracker.Stale(iter+1, gateOn)) > 0 {
+			if stopRequested(opts) {
+				stopped = true
+				break
+			}
+			inst.observeStaleWait()
+			time.Sleep(asyncGatePoll)
+			if err := absorb(); err != nil {
+				return err
+			}
+		}
+		if stopped {
+			break
 		}
 		last, err = cell.Iterate()
 		if err != nil {
@@ -171,6 +241,21 @@ func asyncCellLoop(cfg config.Config, rank int, g *grid.Grid, world *mpi.World,
 		Last:           last,
 	}
 	return nil
+}
+
+// sortedStateRanks returns the keys of a drained snapshot map in
+// ascending order, keeping multi-source applies deterministic for a given
+// mailbox content.
+func sortedStateRanks(latest map[int]*CellState) []int {
+	if len(latest) == 0 {
+		return nil
+	}
+	ranks := make([]int, 0, len(latest))
+	for r := range latest {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	return ranks
 }
 
 // ErrUnknownMode is returned by Run for an unrecognised mode name.

@@ -42,6 +42,14 @@ type RunOptions struct {
 	// parallel mode the decision is reached by consensus: a stop vote is
 	// carried on the allgather, so every rank halts at the same boundary.
 	Stop func() bool
+
+	// commWrap, when non-nil, wraps each rank's communicator before the
+	// asynchronous exchange loop uses it — the test seam for injecting
+	// mpi.FaultyComm into RunAsync without a cluster in between.
+	commWrap func(rank int, c *mpi.Comm) *mpi.Comm
+	// asyncHooks observe pushes and applies in the asynchronous mode;
+	// test-only.
+	asyncHooks *asyncTestHooks
 }
 
 // restoreIfResuming applies the matching resume state to a fresh cell.

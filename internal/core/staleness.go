@@ -1,0 +1,72 @@
+package core
+
+import "sort"
+
+// StalenessTracker enforces the bounded-staleness discipline of the
+// asynchronous exchange modes. It remembers, per source rank, the
+// iteration of the newest snapshot ever applied from that source — state
+// that must outlive any single mailbox drain, because a delayed or
+// duplicated delivery can surface an old snapshot arbitrarily many drains
+// after a newer one was applied. ShouldApply is the newest-wins guard;
+// Stale is the SSP-style gate: a cell blocks before an iteration only
+// when completing it would leave the cell more than Bound versions ahead
+// of some neighbour's last applied snapshot, never on a global barrier.
+//
+// The tracker is confined to one cell's exchange loop and is not safe for
+// concurrent use.
+type StalenessTracker struct {
+	bound   int
+	applied map[int]int
+}
+
+// NewStalenessTracker returns a tracker with the given staleness window;
+// bounds below 1 are raised to 1 (a zero window would gate a fresh grid
+// where every neighbour is still at iteration 0).
+func NewStalenessTracker(bound int) *StalenessTracker {
+	if bound < 1 {
+		bound = 1
+	}
+	return &StalenessTracker{bound: bound, applied: make(map[int]int)}
+}
+
+// Bound returns the staleness window S.
+func (t *StalenessTracker) Bound() int { return t.bound }
+
+// ShouldApply reports whether a snapshot from src at iteration iter is at
+// least as new as everything already applied from src. Equal iterations
+// pass: training is deterministic per iteration, so re-applying a
+// duplicate of the current snapshot is harmless, while anything older
+// would regress the neighbour view.
+func (t *StalenessTracker) ShouldApply(src, iter int) bool {
+	prev, seen := t.applied[src]
+	return !seen || iter >= prev
+}
+
+// MarkApplied records that src's snapshot at iter was applied. The record
+// is monotonic: an out-of-order call can never lower it.
+func (t *StalenessTracker) MarkApplied(src, iter int) {
+	if prev, seen := t.applied[src]; seen && prev > iter {
+		return
+	}
+	t.applied[src] = iter
+}
+
+// AppliedIteration returns the newest iteration applied from src, or 0
+// when nothing has been applied yet (every cell starts at iteration 0, so
+// an unseen neighbour is indistinguishable from a fresh one).
+func (t *StalenessTracker) AppliedIteration(src int) int { return t.applied[src] }
+
+// Stale returns, in ascending order, the neighbours whose last applied
+// snapshot would be more than Bound versions behind after this cell
+// completes iteration nextIter. An empty result means the cell may
+// iterate without violating the staleness window.
+func (t *StalenessTracker) Stale(nextIter int, neighbours []int) []int {
+	var stale []int
+	for _, n := range neighbours {
+		if nextIter-t.applied[n] > t.bound {
+			stale = append(stale, n)
+		}
+	}
+	sort.Ints(stale)
+	return stale
+}

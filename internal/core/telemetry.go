@@ -11,6 +11,11 @@ import (
 // to ~8 s in powers of two.
 var exchangeLatencyBuckets = telemetry.ExponentialBuckets(1e-6, 2, 24)
 
+// stalenessBuckets cover the versions-behind distribution of absorbed
+// neighbour snapshots (1 to 128 in powers of two; 0 lands in the first
+// bucket).
+var stalenessBuckets = telemetry.ExponentialBuckets(1, 2, 8)
+
 // runInstruments bundles the training-loop metrics of one run. All
 // observation methods are nil-receiver safe and allocation-free on the
 // metrics path, so the runners thread them through unconditionally
@@ -18,11 +23,13 @@ var exchangeLatencyBuckets = telemetry.ExponentialBuckets(1e-6, 2, 24)
 type runInstruments struct {
 	trace *telemetry.Trace
 
-	iterations      *telemetry.Counter
-	replacements    *telemetry.Counter
-	exchanges       *telemetry.Counter
-	exchangeSeconds *telemetry.Histogram
-	cells           []cellInstruments
+	iterations        *telemetry.Counter
+	replacements      *telemetry.Counter
+	exchanges         *telemetry.Counter
+	exchangeSeconds   *telemetry.Histogram
+	stalenessVersions *telemetry.Histogram
+	staleWaits        *telemetry.Counter
+	cells             []cellInstruments
 }
 
 // cellInstruments are the per-cell gauges, labelled cell="<rank>".
@@ -42,12 +49,14 @@ func newRunInstruments(reg *telemetry.Registry, trace *telemetry.Trace, n int) *
 		return nil
 	}
 	ri := &runInstruments{
-		trace:           trace,
-		iterations:      reg.Counter("train_iterations_total", "Completed cell training iterations."),
-		replacements:    reg.Counter("train_replacements_total", "Selection events that adopted a neighbour's center."),
-		exchanges:       reg.Counter("train_exchanges_total", "Completed neighbourhood exchanges."),
-		exchangeSeconds: reg.Histogram("train_exchange_seconds", "Neighbourhood exchange latency.", exchangeLatencyBuckets),
-		cells:           make([]cellInstruments, n),
+		trace:             trace,
+		iterations:        reg.Counter("train_iterations_total", "Completed cell training iterations."),
+		replacements:      reg.Counter("train_replacements_total", "Selection events that adopted a neighbour's center."),
+		exchanges:         reg.Counter("train_exchanges_total", "Completed neighbourhood exchanges."),
+		exchangeSeconds:   reg.Histogram("train_exchange_seconds", "Neighbourhood exchange latency.", exchangeLatencyBuckets),
+		stalenessVersions: reg.Histogram("train_staleness_versions", "Versions an absorbed neighbour snapshot was behind the absorbing cell (async mode).", stalenessBuckets),
+		staleWaits:        reg.Counter("train_stale_waits_total", "Bounded-staleness gate polls while waiting for a fresher neighbour (async mode)."),
+		cells:             make([]cellInstruments, n),
 	}
 	for r := 0; r < n; r++ {
 		labels := `cell="` + strconv.Itoa(r) + `"`
@@ -103,6 +112,27 @@ func (ri *runInstruments) observeExchange(d time.Duration) {
 	}
 	ri.exchanges.Inc()
 	ri.exchangeSeconds.Observe(d.Seconds())
+}
+
+// observeStaleness records how many versions behind the absorbing cell an
+// applied neighbour snapshot was (negative differences — a neighbour
+// ahead of the absorber — count as 0).
+func (ri *runInstruments) observeStaleness(versionsBehind int) {
+	if ri == nil {
+		return
+	}
+	if versionsBehind < 0 {
+		versionsBehind = 0
+	}
+	ri.stalenessVersions.Observe(float64(versionsBehind))
+}
+
+// observeStaleWait counts one bounded-staleness gate poll.
+func (ri *runInstruments) observeStaleWait() {
+	if ri == nil {
+		return
+	}
+	ri.staleWaits.Inc()
 }
 
 // stopRequested reports whether the run should halt at the next

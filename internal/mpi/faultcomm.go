@@ -400,6 +400,22 @@ func (fe *faultEndpoint) probe(commID uint32, srcWorld, tag int) (bool, error) {
 	return p.probe(commID, srcWorld, tag)
 }
 
+func (fe *faultEndpoint) tryRecvWorld(commID uint32, srcWorld, tag int) (wireMsg, bool, error) {
+	fe.mu.Lock()
+	dead := fe.crashed
+	fe.mu.Unlock()
+	if dead {
+		return wireMsg{}, false, ErrCrashed
+	}
+	tr, ok := fe.inner.(interface {
+		tryRecvWorld(commID uint32, srcWorld, tag int) (wireMsg, bool, error)
+	})
+	if !ok {
+		return wireMsg{}, false, errors.New("mpi: transport does not support TryRecv")
+	}
+	return tr.tryRecvWorld(commID, srcWorld, tag)
+}
+
 func (fe *faultEndpoint) worldRank() int { return fe.inner.worldRank() }
 func (fe *faultEndpoint) worldSize() int { return fe.inner.worldSize() }
 

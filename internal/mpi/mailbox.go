@@ -65,6 +65,23 @@ func (b *mailbox) take(commID uint32, srcWorld, tag int) (wireMsg, error) {
 	}
 }
 
+// tryTake removes and returns the earliest message matching the pattern
+// without blocking; ok is false when no matching message is queued.
+func (b *mailbox) tryTake(commID uint32, srcWorld, tag int) (wireMsg, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, m := range b.queue {
+		if matches(m, commID, srcWorld, tag) {
+			b.queue = append(b.queue[:i], b.queue[i+1:]...)
+			return m, true, nil
+		}
+	}
+	if b.closed {
+		return wireMsg{}, false, ErrClosed
+	}
+	return wireMsg{}, false, nil
+}
+
 // close marks the mailbox closed and unblocks all waiting receivers.
 func (b *mailbox) close() {
 	b.mu.Lock()

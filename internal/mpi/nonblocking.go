@@ -116,6 +116,49 @@ func (c *Comm) RecvTimeout(src, tag int, d time.Duration) (Message, error) {
 	}
 }
 
+// TryRecv receives a message matching (src, tag) if one is already
+// queued, without blocking; ok is false when nothing matches right now.
+// Unlike a Probe/Recv pair it is race-free under concurrent receivers:
+// the matching message is removed atomically, so two goroutines draining
+// the same pattern never block each other. The asynchronous exchange
+// loops drain their neighbour-state mailboxes with it.
+func (c *Comm) TryRecv(src, tag int) (Message, bool, error) {
+	srcWorld := AnySource
+	if src != AnySource {
+		if err := c.checkRank(src, "source"); err != nil {
+			return Message{}, false, err
+		}
+		srcWorld = c.group[src]
+	}
+	if tag != AnyTag && (tag < 0 || tag >= maxUserTag) {
+		return Message{}, false, fmt.Errorf("mpi: tag %d out of range [0,%d)", tag, maxUserTag)
+	}
+	type tryRecver interface {
+		tryRecvWorld(commID uint32, srcWorld, tag int) (wireMsg, bool, error)
+	}
+	tr, ok := c.ep.(tryRecver)
+	if !ok {
+		return Message{}, false, fmt.Errorf("mpi: transport does not support TryRecv")
+	}
+	m, ok, err := tr.tryRecvWorld(c.id, srcWorld, tag)
+	if err != nil || !ok {
+		return Message{}, false, err
+	}
+	commSrc, inGroup := c.worldToComm[m.Src]
+	if !inGroup {
+		return Message{}, false, fmt.Errorf("mpi: message from world rank %d not in communicator", m.Src)
+	}
+	return Message{Src: commSrc, Tag: m.Tag, Data: m.Data}, true, nil
+}
+
+func (e *inprocEndpoint) tryRecvWorld(commID uint32, srcWorld, tag int) (wireMsg, bool, error) {
+	return e.w.boxes[e.rank].tryTake(commID, srcWorld, tag)
+}
+
+func (t *TCPNode) tryRecvWorld(commID uint32, srcWorld, tag int) (wireMsg, bool, error) {
+	return t.inbox.tryTake(commID, srcWorld, tag)
+}
+
 // Probe reports whether a message matching (src, tag) is available
 // without receiving it. It never blocks.
 func (c *Comm) Probe(src, tag int) (bool, error) {

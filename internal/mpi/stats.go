@@ -76,6 +76,22 @@ func (se *statsEndpoint) probe(commID uint32, srcWorld, tag int) (bool, error) {
 	return p.probe(commID, srcWorld, tag)
 }
 
+func (se *statsEndpoint) tryRecvWorld(commID uint32, srcWorld, tag int) (wireMsg, bool, error) {
+	tr, ok := se.inner.(interface {
+		tryRecvWorld(commID uint32, srcWorld, tag int) (wireMsg, bool, error)
+	})
+	if !ok {
+		return wireMsg{}, false, errors.New("mpi: transport does not support TryRecv")
+	}
+	m, got, err := tr.tryRecvWorld(commID, srcWorld, tag)
+	if err != nil || !got {
+		return m, got, err
+	}
+	se.st.RecvMessages.Add(1)
+	se.st.RecvBytes.Add(uint64(len(m.Data)))
+	return m, true, nil
+}
+
 func (se *statsEndpoint) worldRank() int { return se.inner.worldRank() }
 func (se *statsEndpoint) worldSize() int { return se.inner.worldSize() }
 func (se *statsEndpoint) close() error   { return se.inner.close() }
