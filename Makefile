@@ -23,8 +23,8 @@ test:
 # helpers, cluster runtime incl. the async chaos suite, telemetry
 # registry) plus the in-process async/staleness training tests.
 race:
-	$(GO) test -race ./internal/serve/ ./internal/gateway/ ./internal/mpi/ ./internal/clientserver/ ./internal/checkpoint/ ./internal/cluster/ ./internal/telemetry/
-	$(GO) test -race -run 'Async|Staleness' ./internal/core/
+	$(GO) test -race -timeout 25m ./internal/serve/ ./internal/gateway/ ./internal/mpi/ ./internal/clientserver/ ./internal/checkpoint/ ./internal/cluster/ ./internal/telemetry/ ./internal/nn/ ./internal/tensor/
+	$(GO) test -race -timeout 25m -run 'Async|Staleness' ./internal/core/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -7,6 +7,7 @@
 //	experiments -table 3           # one table (1-4)
 //	experiments -fig 2             # one figure (1-4)
 //	experiments -measured          # reduced-scale real-engine companions
+//	experiments -dcgan 2           # CNN (DCGAN) grid: train → exchange → serve
 package main
 
 import (
@@ -27,10 +28,11 @@ func main() {
 	repeats := flag.Int("repeats", 0, "repeated-run methodology: N independent executions per grid (avg±std)")
 	arch := flag.Bool("arch", false, "compare execution architectures (seq / MPI sync / MPI async / HTTP)")
 	quality := flag.Int("quality", 0, "train for N iterations and report generator quality vs real/noise baselines")
+	dcgan := flag.Int("dcgan", 0, "train a CNN (DCGAN) grid for N iterations and serve the exported mixture")
 	outDir := flag.String("out", "", "also write each artefact to a file in this directory")
 	flag.Parse()
 
-	if !*all && *table == 0 && *fig == 0 && !*measured && *repeats == 0 && !*arch && *quality == 0 {
+	if !*all && *table == 0 && *fig == 0 && !*measured && *repeats == 0 && !*arch && *quality == 0 && *dcgan == 0 {
 		*all = true
 	}
 
@@ -108,5 +110,10 @@ func main() {
 		cfg.NeuronsPerHidden = 64
 		cfg.InputNeurons = 32
 		emit(experiments.QualityTable(cfg, 400))
+	}
+	if *dcgan > 0 {
+		cfg := experiments.DCGANJobConfig()
+		cfg.Iterations = *dcgan
+		emit(experiments.DCGANTable(cfg, 64))
 	}
 }

@@ -16,7 +16,8 @@ import (
 type Config struct {
 	// --- Network topology (Table I) ---
 
-	// NetworkType names the architecture; only "MLP" is implemented.
+	// NetworkType names the architecture: "MLP" or "CNN" (DCGAN-style
+	// conv stacks over 28×28 images).
 	NetworkType string `json:"network_type"`
 	// InputNeurons is the generator latent dimension (64 in the paper).
 	InputNeurons int `json:"input_neurons"`

@@ -62,7 +62,10 @@ type Cell struct {
 // iteration. Distinct nn workspaces keep the aliasing reasoning local:
 // each forward→backward pair completes on its own workspace before that
 // workspace is reused, and fitness evaluations never clobber a training
-// pass in flight.
+// pass in flight. For CNN genomes the nn workspaces additionally carry
+// per-layer conv scratch (im2col patch buffers, shuffle and gradient
+// staging) via nn.LayerScratch, so convolutional cells iterate through
+// the same zero-steady-state-allocation regime as MLP cells.
 type cellWorkspace struct {
 	genWS, discWS         *nn.Workspace // training fwd/bwd (generator, discriminator nets)
 	evalGenWS, evalDiscWS *nn.Workspace // fitness-evaluation forwards

@@ -49,6 +49,46 @@ func TestCellIterateBitExactWithWorkspace(t *testing.T) {
 	}
 }
 
+// TestCNNCellIterateBitExactWithWorkspace is the convolutional form of the
+// invariant above: a CNN genome (DCGAN-style conv stacks) trained through
+// the im2col scratch path must match the allocating direct-loop path
+// bit for bit, stats and checkpoint alike.
+func TestCNNCellIterateBitExactWithWorkspace(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.NetworkType = "CNN"
+	cfg.BatchSize = 4
+
+	cWS, _ := newTestCell(t, cfg, 0)
+	cAlloc, _ := newTestCell(t, cfg, 0)
+	cAlloc.ws = nil // test hook: every call site falls back to allocating
+
+	for i := 0; i < 2; i++ {
+		sWS, err := cWS.Iterate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sAlloc, err := cAlloc.Iterate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sWS != sAlloc {
+			t.Fatalf("iteration %d stats diverge:\nws:    %+v\nalloc: %+v", i, sWS, sAlloc)
+		}
+	}
+
+	fWS, err := cWS.FullState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fAlloc, err := cAlloc.FullState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fWS.Marshal(), fAlloc.Marshal()) {
+		t.Fatal("CNN workspace-path checkpoint differs from allocating-path checkpoint")
+	}
+}
+
 // mixtureForTest builds a two-component mixture of tiny generators.
 func mixtureForTest(t *testing.T) (*Mixture, *nn.Network) {
 	t.Helper()

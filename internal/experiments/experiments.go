@@ -11,10 +11,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
+	"cellgan/internal/checkpoint"
 	"cellgan/internal/clientserver"
 	"cellgan/internal/cluster"
 	"cellgan/internal/config"
@@ -25,6 +27,7 @@ import (
 	"cellgan/internal/perfmodel"
 	"cellgan/internal/profile"
 	"cellgan/internal/report"
+	"cellgan/internal/serve"
 	"cellgan/internal/stats"
 	"cellgan/internal/tensor"
 )
@@ -291,6 +294,61 @@ func QualityTable(cfg config.Config, sampleN int) (string, error) {
 	return t.String(), nil
 }
 
+// DCGANTable switches the grid to the CNN genome (DCGAN-style conv
+// stacks, the heavier workload the Lipizzaner line actually scales) and
+// drives it through the full train→exchange→serve stack: parallel
+// cellular training with neighbourhood exchange, export of the best
+// cell's generator mixture as a deployable artifact, and batched sampling
+// of that artifact through the serving engine. The conv layers run on the
+// im2col workspace path (DESIGN §11); nn's parity tests pin it
+// bit-identical to the direct loops.
+func DCGANTable(cfg config.Config, sampleN int) (string, error) {
+	cfg.NetworkType = "CNN"
+	if err := cfg.Validate(); err != nil {
+		return "", err
+	}
+	if sampleN <= 0 {
+		sampleN = 64
+	}
+
+	res, err := core.RunParallel(cfg, core.RunOptions{})
+	if err != nil {
+		return "", err
+	}
+	art, err := checkpoint.ExportMixture(res, res.BestRank)
+	if err != nil {
+		return "", err
+	}
+	reg := serve.NewRegistry(serve.EngineConfig{}, nil)
+	defer reg.Close()
+	if err := reg.Load("dcgan", art); err != nil {
+		return "", err
+	}
+	eng, err := reg.Engine("dcgan")
+	if err != nil {
+		return "", err
+	}
+	served, err := eng.Generate(context.Background(), sampleN)
+	if err != nil {
+		return "", err
+	}
+	if served.Rows != sampleN || served.Cols != cfg.OutputNeurons {
+		return "", fmt.Errorf("experiments: served batch %d×%d, want %d×%d",
+			served.Rows, served.Cols, sampleN, cfg.OutputNeurons)
+	}
+
+	t := report.NewTable("DCGAN grid run — train → exchange → serve", "stage", "result")
+	t.AddRow("genome", fmt.Sprintf("CNN (DCGAN conv stacks, latent %d → 28×28)", cfg.InputNeurons))
+	t.AddRow("grid", fmt.Sprintf("%d×%d, %d iterations × %d batches of %d",
+		cfg.GridRows, cfg.GridCols, cfg.Iterations, cfg.BatchesPerIteration, cfg.BatchSize))
+	t.AddRow("train+exchange wall clock", res.Elapsed.Round(time.Millisecond).String())
+	t.AddRow("best cell", fmt.Sprintf("rank %d, mixture fitness %.4f", res.BestRank, res.Best().MixtureFitness))
+	t.AddRow("exported mixture", fmt.Sprintf("%d generators", len(art.Ranks)))
+	t.AddRow("served batch", fmt.Sprintf("%d samples × %d pixels, range [%.2f, %.2f]",
+		served.Rows, served.Cols, served.Min(), served.Max()))
+	return t.String(), nil
+}
+
 // Fig1 renders the toroidal grid with two overlapping neighbourhoods, as
 // in the paper's Fig 1 (N(1,3) wraps around the torus; N(1,1) is
 // interior).
@@ -370,6 +428,15 @@ func Fig4() (string, error) {
 // to run the real engine quickly (figures 2 and 3, companion tables).
 func TinyJobConfig() config.Config {
 	return config.Default().Scaled(2, 8, 100)
+}
+
+// DCGANJobConfig is TinyJobConfig on the CNN genome: a reduced-scale
+// DCGAN grid that still trains through the full conv workspace path.
+func DCGANJobConfig() config.Config {
+	cfg := TinyJobConfig()
+	cfg.NetworkType = "CNN"
+	cfg.BatchSize = 4
+	return cfg
 }
 
 // All regenerates every artefact in paper order.

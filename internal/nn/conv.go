@@ -6,6 +6,30 @@ import (
 	"cellgan/internal/tensor"
 )
 
+// The conv layers run in two regimes:
+//
+//   - The plain Forward/Backward protocol uses direct loops. These are the
+//     fallback and the parity oracle: their floating-point operation
+//     sequence per output element mirrors the im2col kernel path exactly
+//     (same accumulation order, same zero-operand skips, padded taps
+//     contributing exact-zero products, bias added last), so both regimes
+//     produce bit-identical results.
+//   - ForwardScratch/BackwardScratch (the ScratchLayer protocol used by
+//     Network.ForwardWS/BackwardWS) lower the convolution onto the
+//     ParallelFor-backed matmul kernels via tensor.Im2ColInto/Col2ImInto,
+//     with the patch matrices living in workspace-owned LayerScratch
+//     buffers — zero steady-state allocations.
+//
+// Patch-row layout shared by both layers: cols has one row per
+// (sample, patch position) and one column per (channel, ky, kx) tap, so
+//
+//	conv  forward: out = cols × Wᵀ        convT forward: out = col2im(xT × W)
+//	conv  ∂W = dOutᵀ × cols               convT ∂W = xTᵀ × gCols
+//	conv  ∂in = col2im(dOut × W)          convT ∂in = gCols × Wᵀ
+//
+// where dOut/xT are position-major views ((sample·pos) × channels) of the
+// channel-major activations, and gCols = im2col(grad) over the output grid.
+
 // Conv2D is a 2-D convolution over batches of flattened C×H×W images
 // (row-major per sample: channel, then row, then column). It exists for
 // the paper's future-work direction — "generation of higher dimensional
@@ -58,44 +82,46 @@ func (c *Conv2D) OutputWidth() int {
 	return oc * oh * ow
 }
 
-func (c *Conv2D) inIndex(ch, y, x int) int  { return (ch*c.InH+y)*c.InW + x }
-func (c *Conv2D) wIndex(ic, ky, kx int) int { return (ic*c.K+ky)*c.K + kx }
+func (c *Conv2D) inIndex(ch, y, x int) int { return (ch*c.InH+y)*c.InW + x }
 
 // Forward applies the convolution to a batch (rows = samples, each of
-// length InC·InH·InW).
+// length InC·InH·InW) with a direct loop — the parity oracle for
+// ForwardScratch. Each output element is the full tap-order dot product
+// (padded taps contribute exact zeros, as the im2col rows do) with the
+// bias added last.
 func (c *Conv2D) Forward(x *tensor.Mat) *tensor.Mat {
 	if x.Cols != c.InC*c.InH*c.InW {
 		panic(fmt.Sprintf("nn: Conv2D input width %d, want %d", x.Cols, c.InC*c.InH*c.InW))
 	}
 	c.x = x
 	_, outH, outW := c.OutDims()
-	out := tensor.New(x.Rows, c.OutC*outH*outW)
+	pos := outH * outW
+	out := tensor.New(x.Rows, c.OutC*pos)
 	tensor.ParallelFor(x.Rows, 1, func(lo, hi int) {
 		for b := lo; b < hi; b++ {
 			in := x.Row(b)
 			dst := out.Row(b)
-			for oc := 0; oc < c.OutC; oc++ {
-				w := c.W.Row(oc)
-				bias := c.B.Data[oc]
-				for oy := 0; oy < outH; oy++ {
-					for ox := 0; ox < outW; ox++ {
-						sum := bias
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					for oc := 0; oc < c.OutC; oc++ {
+						w := c.W.Row(oc)
+						s := 0.0
+						j := 0
 						for ic := 0; ic < c.InC; ic++ {
 							for ky := 0; ky < c.K; ky++ {
 								iy := oy*c.Stride - c.Pad + ky
-								if iy < 0 || iy >= c.InH {
-									continue
-								}
 								for kx := 0; kx < c.K; kx++ {
 									ix := ox*c.Stride - c.Pad + kx
-									if ix < 0 || ix >= c.InW {
-										continue
+									v := 0.0
+									if iy >= 0 && iy < c.InH && ix >= 0 && ix < c.InW {
+										v = in[c.inIndex(ic, iy, ix)]
 									}
-									sum += w[c.wIndex(ic, ky, kx)] * in[c.inIndex(ic, iy, ix)]
+									s += v * w[j]
+									j++
 								}
 							}
 						}
-						dst[(oc*outH+oy)*outW+ox] = sum
+						dst[oc*pos+oy*outW+ox] = s + c.B.Data[oc]
 					}
 				}
 			}
@@ -104,40 +130,50 @@ func (c *Conv2D) Forward(x *tensor.Mat) *tensor.Mat {
 	return out
 }
 
-// Backward accumulates parameter gradients and returns ∂L/∂input.
+// Backward accumulates parameter gradients and returns ∂L/∂input, in three
+// passes whose accumulation orders mirror the kernels of BackwardScratch
+// (AddColSumsInto, AddMatMulT1Into, MatMulInto+Col2ImInto).
 func (c *Conv2D) Backward(grad *tensor.Mat) *tensor.Mat {
 	if c.x == nil {
 		panic("nn: Conv2D.Backward before Forward")
 	}
 	_, outH, outW := c.OutDims()
-	dx := tensor.New(c.x.Rows, c.x.Cols)
-	for b := 0; b < c.x.Rows; b++ {
+	pos := outH * outW
+	// dB: AddColSumsInto order over the position-major gradient — rows are
+	// (sample, position), columns the output channels.
+	for b := 0; b < grad.Rows; b++ {
+		g := grad.Row(b)
+		for p := 0; p < pos; p++ {
+			for oc := 0; oc < c.OutC; oc++ {
+				c.dB.Data[oc] += g[oc*pos+p]
+			}
+		}
+	}
+	// dW: AddMatMulT1Into order — (sample, position) rows outermost,
+	// zero gradients skipped, padded taps contributing exact-zero products.
+	for b := 0; b < grad.Rows; b++ {
 		in := c.x.Row(b)
 		g := grad.Row(b)
-		dIn := dx.Row(b)
-		for oc := 0; oc < c.OutC; oc++ {
-			w := c.W.Row(oc)
-			dw := c.dW.Row(oc)
-			for oy := 0; oy < outH; oy++ {
-				for ox := 0; ox < outW; ox++ {
-					gv := g[(oc*outH+oy)*outW+ox]
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				for oc := 0; oc < c.OutC; oc++ {
+					gv := g[oc*pos+oy*outW+ox]
 					if gv == 0 {
 						continue
 					}
-					c.dB.Data[oc] += gv
+					dw := c.dW.Row(oc)
+					j := 0
 					for ic := 0; ic < c.InC; ic++ {
 						for ky := 0; ky < c.K; ky++ {
 							iy := oy*c.Stride - c.Pad + ky
-							if iy < 0 || iy >= c.InH {
-								continue
-							}
 							for kx := 0; kx < c.K; kx++ {
 								ix := ox*c.Stride - c.Pad + kx
-								if ix < 0 || ix >= c.InW {
-									continue
+								v := 0.0
+								if iy >= 0 && iy < c.InH && ix >= 0 && ix < c.InW {
+									v = in[c.inIndex(ic, iy, ix)]
 								}
-								dw[c.wIndex(ic, ky, kx)] += gv * in[c.inIndex(ic, iy, ix)]
-								dIn[c.inIndex(ic, iy, ix)] += gv * w[c.wIndex(ic, ky, kx)]
+								dw[j] += gv * v
+								j++
 							}
 						}
 					}
@@ -145,7 +181,106 @@ func (c *Conv2D) Backward(grad *tensor.Mat) *tensor.Mat {
 			}
 		}
 	}
+	// dIn: per-(position, tap) partial sums over output channels in
+	// MatMulInto order (zero gradients skipped), scatter-added in
+	// Col2ImInto's (position, tap) order with out-of-bounds taps dropped.
+	dx := tensor.New(c.x.Rows, c.x.Cols)
+	tensor.ParallelFor(c.x.Rows, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			g := grad.Row(b)
+			dIn := dx.Row(b)
+			for oy := 0; oy < outH; oy++ {
+				for ox := 0; ox < outW; ox++ {
+					j := 0
+					for ic := 0; ic < c.InC; ic++ {
+						for ky := 0; ky < c.K; ky++ {
+							iy := oy*c.Stride - c.Pad + ky
+							for kx := 0; kx < c.K; kx++ {
+								ix := ox*c.Stride - c.Pad + kx
+								if iy >= 0 && iy < c.InH && ix >= 0 && ix < c.InW {
+									s := 0.0
+									for oc := 0; oc < c.OutC; oc++ {
+										gv := g[oc*pos+oy*outW+ox]
+										if gv == 0 {
+											continue
+										}
+										s += gv * c.W.Row(oc)[j]
+									}
+									dIn[c.inIndex(ic, iy, ix)] += s
+								}
+								j++
+							}
+						}
+					}
+				}
+			}
+		}
+	})
 	return dx
+}
+
+// Scratch buffer slots used by the conv layers.
+const (
+	convScratchCols = 0 // conv: im2col patches · convT: position-major input
+	convScratchPos  = 1 // conv: position-major out/grad · convT: xT×W / gCols
+	convScratchTmp  = 2 // conv: dOut×W patches · convT: gCols×Wᵀ
+)
+
+// ForwardScratch is the im2col lowering of Forward: gather patches, one
+// MatMulT2Into against the filter bank, then a position→channel-major
+// shuffle with the bias added last. The patch matrix stays cached in s for
+// BackwardScratch. Bit-identical to Forward.
+func (c *Conv2D) ForwardScratch(s *LayerScratch, dst, x *tensor.Mat) *tensor.Mat {
+	if x.Cols != c.InC*c.InH*c.InW {
+		panic(fmt.Sprintf("nn: Conv2D input width %d, want %d", x.Cols, c.InC*c.InH*c.InW))
+	}
+	c.x = x
+	_, outH, outW := c.OutDims()
+	pos := outH * outW
+	cols := tensor.Im2ColInto(s.Buf(convScratchCols), x, c.InC, c.InH, c.InW, c.K, c.Stride, c.Pad, outH, outW)
+	out2 := tensor.MatMulT2Into(s.Buf(convScratchPos), cols, c.W)
+	dst.Resize(x.Rows, c.OutC*pos)
+	bias := c.B.Data
+	// Position→channel-major shuffle with the bias added last; a serial
+	// reindexing pass (memory-bound, and closure-free keeps the scratch
+	// path allocation-free).
+	for b := 0; b < x.Rows; b++ {
+		drow := dst.Row(b)
+		for p := 0; p < pos; p++ {
+			srow := out2.Row(b*pos + p)
+			for oc, v := range srow {
+				drow[oc*pos+p] = v + bias[oc]
+			}
+		}
+	}
+	return dst
+}
+
+// BackwardScratch is the im2col lowering of Backward: shuffle the gradient
+// position-major, fused dB/dW kernels against the cached patch matrix,
+// then ∂in = col2im(dOut × W). Bit-identical to Backward.
+func (c *Conv2D) BackwardScratch(s *LayerScratch, dst, grad *tensor.Mat) *tensor.Mat {
+	_, outH, outW := c.OutDims()
+	pos := outH * outW
+	cols := s.Buf(convScratchCols)
+	if cols.Rows != grad.Rows*pos {
+		panic("nn: Conv2D.BackwardScratch without matching ForwardScratch")
+	}
+	dOut := s.Buf(convScratchPos)
+	dOut.Resize(grad.Rows*pos, c.OutC)
+	for b := 0; b < grad.Rows; b++ {
+		g := grad.Row(b)
+		for p := 0; p < pos; p++ {
+			drow := dOut.Row(b*pos + p)
+			for oc := range drow {
+				drow[oc] = g[oc*pos+p]
+			}
+		}
+	}
+	tensor.AddColSumsInto(c.dB, dOut)
+	tensor.AddMatMulT1Into(c.dW, dOut, cols)
+	dcols := tensor.MatMulInto(s.Buf(convScratchTmp), dOut, c.W)
+	return tensor.Col2ImInto(dst, dcols, c.InC, c.InH, c.InW, c.K, c.Stride, c.Pad, outH, outW)
 }
 
 // Params returns {W, B}.
@@ -219,50 +354,70 @@ func (t *ConvTranspose2D) OutputWidth() int {
 	return oc * oh * ow
 }
 
-func (t *ConvTranspose2D) wIndex(oc, ky, kx int) int { return (oc*t.K+ky)*t.K + kx }
+// addChannelSums accumulates per-channel sums of a channel-major activation
+// batch (pos positions per channel) into dB. Shared verbatim by the direct
+// and scratch backward passes of ConvTranspose2D so the bias gradient is
+// bit-identical by construction.
+func addChannelSums(dB []float64, grad *tensor.Mat, channels, pos int) {
+	for b := 0; b < grad.Rows; b++ {
+		g := grad.Row(b)
+		for ch := 0; ch < channels; ch++ {
+			base := ch * pos
+			s := 0.0
+			for i := 0; i < pos; i++ {
+				s += g[base+i]
+			}
+			dB[ch] += s
+		}
+	}
+}
 
 // Forward scatters each input activation through the kernel into the
-// upsampled output.
+// upsampled, bias-seeded output — the parity oracle for ForwardScratch.
+// Per scatter target the contributions accumulate over input channels
+// (zero activations skipped, matching the matmul kernel), and targets are
+// visited in (input position, tap) order, matching AddCol2ImInto.
 func (t *ConvTranspose2D) Forward(x *tensor.Mat) *tensor.Mat {
 	if x.Cols != t.InC*t.InH*t.InW {
 		panic(fmt.Sprintf("nn: ConvTranspose2D input width %d, want %d", x.Cols, t.InC*t.InH*t.InW))
 	}
 	t.x = x
 	_, outH, outW := t.OutDims()
-	out := tensor.New(x.Rows, t.OutC*outH*outW)
+	outPos := outH * outW
+	inPos := t.InH * t.InW
+	out := tensor.New(x.Rows, t.OutC*outPos)
 	tensor.ParallelFor(x.Rows, 1, func(lo, hi int) {
 		for b := lo; b < hi; b++ {
 			in := x.Row(b)
 			dst := out.Row(b)
-			// Bias first.
+			// Bias first; scatter contributions accumulate on top.
 			for oc := 0; oc < t.OutC; oc++ {
-				base := oc * outH * outW
+				base := oc * outPos
 				bias := t.B.Data[oc]
-				for i := 0; i < outH*outW; i++ {
+				for i := 0; i < outPos; i++ {
 					dst[base+i] = bias
 				}
 			}
-			for ic := 0; ic < t.InC; ic++ {
-				w := t.W.Row(ic)
-				for iy := 0; iy < t.InH; iy++ {
-					for ix := 0; ix < t.InW; ix++ {
-						v := in[(ic*t.InH+iy)*t.InW+ix]
-						if v == 0 {
-							continue
-						}
-						for oc := 0; oc < t.OutC; oc++ {
-							for ky := 0; ky < t.K; ky++ {
-								oy := iy*t.Stride - t.Pad + ky
-								if oy < 0 || oy >= outH {
-									continue
-								}
-								for kx := 0; kx < t.K; kx++ {
-									ox := ix*t.Stride - t.Pad + kx
-									if ox < 0 || ox >= outW {
-										continue
+			for iy := 0; iy < t.InH; iy++ {
+				for ix := 0; ix < t.InW; ix++ {
+					j := 0
+					for oc := 0; oc < t.OutC; oc++ {
+						for ky := 0; ky < t.K; ky++ {
+							oy := iy*t.Stride - t.Pad + ky
+							for kx := 0; kx < t.K; kx++ {
+								ox := ix*t.Stride - t.Pad + kx
+								if oy >= 0 && oy < outH && ox >= 0 && ox < outW {
+									s := 0.0
+									for ic := 0; ic < t.InC; ic++ {
+										v := in[ic*inPos+iy*t.InW+ix]
+										if v == 0 {
+											continue
+										}
+										s += v * t.W.Row(ic)[j]
 									}
-									dst[(oc*outH+oy)*outW+ox] += v * w[t.wIndex(oc, ky, kx)]
+									dst[(oc*outH+oy)*outW+ox] += s
 								}
+								j++
 							}
 						}
 					}
@@ -273,57 +428,153 @@ func (t *ConvTranspose2D) Forward(x *tensor.Mat) *tensor.Mat {
 	return out
 }
 
-// Backward accumulates gradients and returns ∂L/∂input (a gather, the
-// mirror of the forward scatter).
+// Backward accumulates gradients and returns ∂L/∂input, mirroring the
+// kernel orders of BackwardScratch (addChannelSums, AddMatMulT1Into over
+// position-major activations, MatMulT2Into full dots in tap order).
 func (t *ConvTranspose2D) Backward(grad *tensor.Mat) *tensor.Mat {
 	if t.x == nil {
 		panic("nn: ConvTranspose2D.Backward before Forward")
 	}
 	_, outH, outW := t.OutDims()
-	dx := tensor.New(t.x.Rows, t.x.Cols)
-	for b := 0; b < t.x.Rows; b++ {
+	outPos := outH * outW
+	inPos := t.InH * t.InW
+	addChannelSums(t.dB.Data, grad, t.OutC, outPos)
+	// dW: AddMatMulT1Into order — (sample, input position) rows outermost,
+	// zero activations skipped, out-of-bounds taps contributing exact-zero
+	// gradient operands.
+	for b := 0; b < grad.Rows; b++ {
 		in := t.x.Row(b)
 		g := grad.Row(b)
-		dIn := dx.Row(b)
-		// Bias gradient: sum over all output positions per channel.
-		for oc := 0; oc < t.OutC; oc++ {
-			base := oc * outH * outW
-			s := 0.0
-			for i := 0; i < outH*outW; i++ {
-				s += g[base+i]
-			}
-			t.dB.Data[oc] += s
-		}
-		for ic := 0; ic < t.InC; ic++ {
-			w := t.W.Row(ic)
-			dw := t.dW.Row(ic)
-			for iy := 0; iy < t.InH; iy++ {
-				for ix := 0; ix < t.InW; ix++ {
-					inV := in[(ic*t.InH+iy)*t.InW+ix]
-					acc := 0.0
+		for iy := 0; iy < t.InH; iy++ {
+			for ix := 0; ix < t.InW; ix++ {
+				for ic := 0; ic < t.InC; ic++ {
+					v := in[ic*inPos+iy*t.InW+ix]
+					if v == 0 {
+						continue
+					}
+					dw := t.dW.Row(ic)
+					j := 0
 					for oc := 0; oc < t.OutC; oc++ {
 						for ky := 0; ky < t.K; ky++ {
 							oy := iy*t.Stride - t.Pad + ky
-							if oy < 0 || oy >= outH {
-								continue
-							}
 							for kx := 0; kx < t.K; kx++ {
 								ox := ix*t.Stride - t.Pad + kx
-								if ox < 0 || ox >= outW {
-									continue
+								gv := 0.0
+								if oy >= 0 && oy < outH && ox >= 0 && ox < outW {
+									gv = g[(oc*outH+oy)*outW+ox]
 								}
-								gv := g[(oc*outH+oy)*outW+ox]
-								acc += gv * w[t.wIndex(oc, ky, kx)]
-								dw[t.wIndex(oc, ky, kx)] += gv * inV
+								dw[j] += v * gv
+								j++
 							}
 						}
 					}
-					dIn[(ic*t.InH+iy)*t.InW+ix] = acc
 				}
 			}
 		}
 	}
+	// dIn: MatMulT2Into order — one full dot per (input position, input
+	// channel) in tap order, no skips, out-of-bounds taps reading zero.
+	dx := tensor.New(t.x.Rows, t.x.Cols)
+	tensor.ParallelFor(t.x.Rows, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			g := grad.Row(b)
+			dIn := dx.Row(b)
+			for iy := 0; iy < t.InH; iy++ {
+				for ix := 0; ix < t.InW; ix++ {
+					for ic := 0; ic < t.InC; ic++ {
+						w := t.W.Row(ic)
+						s := 0.0
+						j := 0
+						for oc := 0; oc < t.OutC; oc++ {
+							for ky := 0; ky < t.K; ky++ {
+								oy := iy*t.Stride - t.Pad + ky
+								for kx := 0; kx < t.K; kx++ {
+									ox := ix*t.Stride - t.Pad + kx
+									gv := 0.0
+									if oy >= 0 && oy < outH && ox >= 0 && ox < outW {
+										gv = g[(oc*outH+oy)*outW+ox]
+									}
+									s += gv * w[j]
+									j++
+								}
+							}
+						}
+						dIn[ic*inPos+iy*t.InW+ix] = s
+					}
+				}
+			}
+		}
+	})
 	return dx
+}
+
+// ForwardScratch lowers the transposed convolution onto the matmul
+// kernels: gather the input position-major (xT, cached in s for the
+// backward pass), one MatMulInto against the filter bank, then
+// scatter-add into the bias-seeded output via AddCol2ImInto (the patch
+// grid is the *input* grid here). Bit-identical to Forward.
+func (t *ConvTranspose2D) ForwardScratch(s *LayerScratch, dst, x *tensor.Mat) *tensor.Mat {
+	if x.Cols != t.InC*t.InH*t.InW {
+		panic(fmt.Sprintf("nn: ConvTranspose2D input width %d, want %d", x.Cols, t.InC*t.InH*t.InW))
+	}
+	t.x = x
+	_, outH, outW := t.OutDims()
+	outPos := outH * outW
+	inPos := t.InH * t.InW
+	xT := s.Buf(convScratchCols)
+	xT.Resize(x.Rows*inPos, t.InC)
+	for b := 0; b < x.Rows; b++ {
+		in := x.Row(b)
+		for p := 0; p < inPos; p++ {
+			xrow := xT.Row(b*inPos + p)
+			for ic := range xrow {
+				xrow[ic] = in[ic*inPos+p]
+			}
+		}
+	}
+	m := tensor.MatMulInto(s.Buf(convScratchPos), xT, t.W)
+	dst.Resize(x.Rows, t.OutC*outPos)
+	bias := t.B.Data
+	for b := 0; b < x.Rows; b++ {
+		drow := dst.Row(b)
+		for oc := 0; oc < t.OutC; oc++ {
+			base := oc * outPos
+			bv := bias[oc]
+			for i := 0; i < outPos; i++ {
+				drow[base+i] = bv
+			}
+		}
+	}
+	return tensor.AddCol2ImInto(dst, m, t.OutC, outH, outW, t.K, t.Stride, t.Pad, t.InH, t.InW)
+}
+
+// BackwardScratch gathers the output gradient into patch rows over the
+// input grid (gCols = im2col(grad)), then dB/dW/∂in all ride the fused
+// kernels against the cached position-major input. Bit-identical to
+// Backward.
+func (t *ConvTranspose2D) BackwardScratch(s *LayerScratch, dst, grad *tensor.Mat) *tensor.Mat {
+	_, outH, outW := t.OutDims()
+	outPos := outH * outW
+	inPos := t.InH * t.InW
+	xT := s.Buf(convScratchCols)
+	if xT.Rows != grad.Rows*inPos {
+		panic("nn: ConvTranspose2D.BackwardScratch without matching ForwardScratch")
+	}
+	gCols := tensor.Im2ColInto(s.Buf(convScratchPos), grad, t.OutC, outH, outW, t.K, t.Stride, t.Pad, t.InH, t.InW)
+	addChannelSums(t.dB.Data, grad, t.OutC, outPos)
+	tensor.AddMatMulT1Into(t.dW, xT, gCols)
+	dxT := tensor.MatMulT2Into(s.Buf(convScratchTmp), gCols, t.W)
+	dst.Resize(grad.Rows, t.InC*inPos)
+	for b := 0; b < grad.Rows; b++ {
+		dIn := dst.Row(b)
+		for p := 0; p < inPos; p++ {
+			drow := dxT.Row(b*inPos + p)
+			for ic, v := range drow {
+				dIn[ic*inPos+p] = v
+			}
+		}
+	}
+	return dst
 }
 
 // Params returns {W, B}.
@@ -354,10 +605,11 @@ func (t *ConvTranspose2D) Clone() Layer {
 // (Train == false) it is the identity.
 type Dropout struct {
 	statelessBase
-	P     float64
-	Train bool
-	rng   *tensor.RNG
-	mask  *tensor.Mat
+	P      float64
+	Train  bool
+	rng    *tensor.RNG
+	mask   *tensor.Mat // persistent mask buffer, reused across passes
+	active bool        // whether mask applies to the most recent Forward
 }
 
 // NewDropout returns a Dropout layer in training mode.
@@ -370,30 +622,57 @@ func NewDropout(p float64, rng *tensor.RNG) *Dropout {
 
 // Forward applies the dropout mask (or passes through in eval mode).
 func (d *Dropout) Forward(x *tensor.Mat) *tensor.Mat {
+	return d.ForwardInto(new(tensor.Mat), x)
+}
+
+// ForwardInto is Forward writing into dst. The mask buffer is owned by the
+// layer and reused across passes, so a steady-state training iteration
+// performs no allocations. In eval mode the input is returned unchanged
+// (dst untouched). One rng draw is consumed per element, identically in
+// both regimes.
+func (d *Dropout) ForwardInto(dst, x *tensor.Mat) *tensor.Mat {
 	if !d.Train || d.P == 0 {
-		d.mask = nil
+		d.active = false
 		return x
 	}
-	d.mask = tensor.New(x.Rows, x.Cols)
-	out := tensor.New(x.Rows, x.Cols)
+	d.active = true
+	if d.mask == nil {
+		d.mask = new(tensor.Mat)
+	}
+	d.mask.Resize(x.Rows, x.Cols)
+	dst.Resize(x.Rows, x.Cols)
 	scale := 1 / (1 - d.P)
 	for i, v := range x.Data {
 		if d.rng.Float64() >= d.P {
 			d.mask.Data[i] = scale
-			out.Data[i] = v * scale
+			dst.Data[i] = v * scale
+		} else {
+			d.mask.Data[i] = 0
+			dst.Data[i] = 0
 		}
 	}
-	return out
+	return dst
 }
 
 // Backward masks the incoming gradient identically.
 func (d *Dropout) Backward(grad *tensor.Mat) *tensor.Mat {
-	if d.mask == nil {
+	if !d.active {
 		return grad
 	}
-	g := grad.Clone()
-	g.MulElem(d.mask)
-	return g
+	return d.BackwardInto(new(tensor.Mat), grad)
+}
+
+// BackwardInto is Backward writing the masked gradient into dst. In eval
+// mode the gradient passes through unchanged (dst untouched).
+func (d *Dropout) BackwardInto(dst, grad *tensor.Mat) *tensor.Mat {
+	if !d.active {
+		return grad
+	}
+	dst.Resize(grad.Rows, grad.Cols)
+	for i, g := range grad.Data {
+		dst.Data[i] = g * d.mask.Data[i]
+	}
+	return dst
 }
 
 // Clone returns a fresh dropout layer sharing probability but not RNG

@@ -57,6 +57,24 @@ type IntoLayer interface {
 	BackwardInto(dst, grad *tensor.Mat) *tensor.Mat
 }
 
+// ScratchLayer is implemented by layers whose destination-passing passes
+// need auxiliary buffers beyond the output matrix — the im2col lowering of
+// the convolution layers materialises patch matrices that must live
+// somewhere reusable. Network.ForwardWS/BackwardWS route through these
+// with a per-layer LayerScratch owned by the Workspace, so the auxiliary
+// buffers are reused across iterations exactly like activations. Both
+// variants are bit-identical to the allocating Forward/Backward.
+type ScratchLayer interface {
+	Layer
+	// ForwardScratch is Forward writing the layer output into dst, drawing
+	// auxiliary buffers from s; it returns dst. Buffers cached in s must
+	// stay untouched by the caller until the matching BackwardScratch.
+	ForwardScratch(s *LayerScratch, dst, x *tensor.Mat) *tensor.Mat
+	// BackwardScratch is Backward writing ∂L/∂input into dst, reading the
+	// buffers cached by the preceding ForwardScratch on the same s.
+	BackwardScratch(s *LayerScratch, dst, grad *tensor.Mat) *tensor.Mat
+}
+
 // Linear is a fully-connected layer computing y = x·W + b.
 type Linear struct {
 	W *tensor.Mat // in×out

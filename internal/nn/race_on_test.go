@@ -1,0 +1,10 @@
+//go:build race
+
+package nn
+
+// raceEnabled relaxes the allocation tripwires: race-detector
+// instrumentation of channel sends and sync.Pool traffic inside the
+// tensor worker pool performs heap allocations of its own, so
+// AllocsPerRun counts measured under -race do not reflect the
+// production allocation behaviour the tripwires guard.
+const raceEnabled = true

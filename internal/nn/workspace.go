@@ -18,12 +18,38 @@ import (
 // before the workspace is handed to the next network: layer caches and the
 // matrices returned by ForwardWS/BackwardWS alias workspace storage.
 type Workspace struct {
-	acts  []*tensor.Mat // acts[i] holds the output of layer i
-	grads []*tensor.Mat // grads[i] holds ∂L/∂input of layer i
+	acts    []*tensor.Mat   // acts[i] holds the output of layer i
+	grads   []*tensor.Mat   // grads[i] holds ∂L/∂input of layer i
+	scratch []*LayerScratch // scratch[i] holds layer i's auxiliary buffers
 }
 
 // NewWorkspace returns an empty workspace; buffers grow on first use.
 func NewWorkspace() *Workspace { return &Workspace{} }
+
+// LayerScratch is a bag of lazily-created auxiliary matrices for one layer
+// slot of a Workspace (the im2col patch matrices of the conv layers live
+// here). Buffers are identified by index; Buf grows the bag on demand and
+// the matrices reuse their backing storage across passes via Resize.
+type LayerScratch struct {
+	bufs []*tensor.Mat
+}
+
+// Buf returns the i-th scratch matrix, creating empty matrices as needed.
+func (s *LayerScratch) Buf(i int) *tensor.Mat {
+	for len(s.bufs) <= i {
+		s.bufs = append(s.bufs, new(tensor.Mat))
+	}
+	return s.bufs[i]
+}
+
+// layerScratch returns the scratch bag for layer slot i, growing the slice
+// on demand.
+func (ws *Workspace) layerScratch(i int) *LayerScratch {
+	for len(ws.scratch) <= i {
+		ws.scratch = append(ws.scratch, &LayerScratch{})
+	}
+	return ws.scratch[i]
+}
 
 // grow extends bufs with empty matrices until it holds at least n slots.
 func grow(bufs []*tensor.Mat, n int) []*tensor.Mat {
@@ -45,9 +71,12 @@ func (n *Network) ForwardWS(ws *Workspace, x *tensor.Mat) *tensor.Mat {
 	}
 	ws.acts = grow(ws.acts, len(n.Layers))
 	for i, l := range n.Layers {
-		if il, ok := l.(IntoLayer); ok {
-			x = il.ForwardInto(ws.acts[i], x)
-		} else {
+		switch tl := l.(type) {
+		case ScratchLayer:
+			x = tl.ForwardScratch(ws.layerScratch(i), ws.acts[i], x)
+		case IntoLayer:
+			x = tl.ForwardInto(ws.acts[i], x)
+		default:
 			x = l.Forward(x)
 		}
 	}
@@ -65,9 +94,12 @@ func (n *Network) BackwardWS(ws *Workspace, grad *tensor.Mat) *tensor.Mat {
 	}
 	ws.grads = grow(ws.grads, len(n.Layers))
 	for i := len(n.Layers) - 1; i >= 0; i-- {
-		if il, ok := n.Layers[i].(IntoLayer); ok {
-			grad = il.BackwardInto(ws.grads[i], grad)
-		} else {
+		switch tl := n.Layers[i].(type) {
+		case ScratchLayer:
+			grad = tl.BackwardScratch(ws.layerScratch(i), ws.grads[i], grad)
+		case IntoLayer:
+			grad = tl.BackwardInto(ws.grads[i], grad)
+		default:
 			grad = n.Layers[i].Backward(grad)
 		}
 	}

@@ -1,0 +1,150 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// naiveIm2Col is an index-arithmetic-free reference: walk every output cell
+// and look the source pixel up directly.
+func naiveIm2Col(img *Mat, c, h, w, k, stride, pad, posH, posW int) *Mat {
+	pos := posH * posW
+	out := New(img.Rows*pos, c*k*k)
+	for b := 0; b < img.Rows; b++ {
+		for py := 0; py < posH; py++ {
+			for px := 0; px < posW; px++ {
+				for ch := 0; ch < c; ch++ {
+					for ky := 0; ky < k; ky++ {
+						for kx := 0; kx < k; kx++ {
+							y := py*stride - pad + ky
+							x := px*stride - pad + kx
+							v := 0.0
+							if y >= 0 && y < h && x >= 0 && x < w {
+								v = img.At(b, (ch*h+y)*w+x)
+							}
+							out.Set(b*pos+py*posW+px, (ch*k+ky)*k+kx, v)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestIm2ColMatchesNaive(t *testing.T) {
+	rng := NewRNG(7)
+	cases := []struct{ c, h, w, k, stride, pad, posH, posW int }{
+		{1, 4, 4, 2, 2, 0, 2, 2},
+		{2, 5, 7, 3, 2, 1, 3, 4}, // asymmetric h≠w
+		{3, 6, 6, 1, 1, 0, 6, 6}, // 1×1 kernel
+		{1, 28, 28, 4, 2, 1, 14, 14},
+		{2, 3, 3, 3, 1, 2, 5, 5}, // pad larger than stride
+	}
+	for _, tc := range cases {
+		img := New(3, tc.c*tc.h*tc.w)
+		GaussianFill(img, 0, 1, rng)
+		got := Im2ColInto(new(Mat), img, tc.c, tc.h, tc.w, tc.k, tc.stride, tc.pad, tc.posH, tc.posW)
+		want := naiveIm2Col(img, tc.c, tc.h, tc.w, tc.k, tc.stride, tc.pad, tc.posH, tc.posW)
+		if !got.Equal(want) {
+			t.Fatalf("Im2ColInto mismatch for %+v", tc)
+		}
+	}
+}
+
+// TestCol2ImAdjoint checks the defining property of the scatter:
+// ⟨im2col(x), y⟩ = ⟨x, col2im(y)⟩ for random x, y — col2im is the exact
+// adjoint of the gather, including dropped out-of-bounds taps.
+func TestCol2ImAdjoint(t *testing.T) {
+	rng := NewRNG(11)
+	c, h, w, k, stride, pad, posH, posW := 2, 5, 6, 3, 2, 1, 3, 3
+	x := New(2, c*h*w)
+	GaussianFill(x, 0, 1, rng)
+	y := New(2*posH*posW, c*k*k)
+	GaussianFill(y, 0, 1, rng)
+
+	gx := Im2ColInto(new(Mat), x, c, h, w, k, stride, pad, posH, posW)
+	sy := Col2ImInto(new(Mat), y, c, h, w, k, stride, pad, posH, posW)
+
+	var lhs, rhs float64
+	for i, v := range gx.Data {
+		lhs += v * y.Data[i]
+	}
+	for i, v := range sy.Data {
+		rhs += v * x.Data[i]
+	}
+	if math.Abs(lhs-rhs) > 1e-9*(1+math.Abs(lhs)) {
+		t.Fatalf("adjoint identity violated: %g vs %g", lhs, rhs)
+	}
+}
+
+// With k == stride and no padding the patches tile the image exactly, so
+// col2im(im2col(x)) must reproduce x bit-for-bit.
+func TestCol2ImRoundTripNonOverlapping(t *testing.T) {
+	rng := NewRNG(3)
+	c, h, w, k := 2, 6, 4, 2
+	x := New(3, c*h*w)
+	GaussianFill(x, 0, 1, rng)
+	cols := Im2ColInto(new(Mat), x, c, h, w, k, k, 0, h/k, w/k)
+	back := Col2ImInto(new(Mat), cols, c, h, w, k, k, 0, h/k, w/k)
+	if !back.Equal(x) {
+		t.Fatal("non-overlapping col2im∘im2col is not the identity")
+	}
+}
+
+// AddCol2ImInto must accumulate on top of existing contents.
+func TestAddCol2ImAccumulates(t *testing.T) {
+	rng := NewRNG(5)
+	c, h, w, k := 1, 4, 4, 2
+	cols := New(1*2*2, c*k*k)
+	GaussianFill(cols, 0, 1, rng)
+	base := New(1, c*h*w)
+	for i := range base.Data {
+		base.Data[i] = 10
+	}
+	AddCol2ImInto(base, cols, c, h, w, k, k, 0, 2, 2)
+	scattered := Col2ImInto(new(Mat), cols, c, h, w, k, k, 0, 2, 2)
+	for i := range base.Data {
+		if base.Data[i] != 10+scattered.Data[i] {
+			t.Fatalf("element %d: %g, want %g", i, base.Data[i], 10+scattered.Data[i])
+		}
+	}
+}
+
+// The batch loop is parallelised; repeated runs must be bit-identical.
+func TestIm2ColDeterministic(t *testing.T) {
+	rng := NewRNG(13)
+	img := New(64, 1*28*28)
+	GaussianFill(img, 0, 1, rng)
+	a := Im2ColInto(new(Mat), img, 1, 28, 28, 4, 2, 1, 14, 14)
+	b := Im2ColInto(new(Mat), img, 1, 28, 28, 4, 2, 1, 14, 14)
+	if !a.Equal(b) {
+		t.Fatal("Im2ColInto not deterministic across runs")
+	}
+	s1 := Col2ImInto(new(Mat), a, 1, 28, 28, 4, 2, 1, 14, 14)
+	s2 := Col2ImInto(new(Mat), b, 1, 28, 28, 4, 2, 1, 14, 14)
+	if !s1.Equal(s2) {
+		t.Fatal("Col2ImInto not deterministic across runs")
+	}
+}
+
+func TestIm2ColPanics(t *testing.T) {
+	cases := []func(){
+		func() { Im2ColInto(new(Mat), New(1, 12), 2, 2, 2, 2, 1, 0, 1, 1) },     // wrong image width
+		func() { Im2ColInto(new(Mat), New(1, 8), 2, 2, 2, 2, 0, 0, 1, 1) },      // stride 0
+		func() { Col2ImInto(new(Mat), New(5, 4), 1, 4, 4, 2, 2, 0, 2, 2) },      // rows not divisible
+		func() { AddCol2ImInto(New(1, 15), New(4, 4), 1, 4, 4, 2, 2, 0, 2, 2) }, // wrong dst width
+		func() { AddCol2ImInto(New(2, 16), New(4, 4), 1, 4, 4, 2, 2, 0, 2, 2) }, // wrong cols rows
+		func() { AddCol2ImInto(New(1, 16), New(4, 3), 1, 4, 4, 2, 2, 0, 2, 2) }, // wrong cols width
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

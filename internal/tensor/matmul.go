@@ -11,18 +11,73 @@ import (
 // small products.
 const parallelThreshold = 64 * 1024
 
+// rangeTask is the allocation-free internal form of a ParallelFor body.
+// The hot-path kernels submit pooled task structs implementing run instead
+// of fresh closures, so a steady-state parallel dispatch performs zero
+// allocations; the public ParallelFor wraps its closure in a funcTask.
+type rangeTask interface {
+	run(lo, hi int)
+}
+
+type funcTask func(lo, hi int)
+
+func (f funcTask) run(lo, hi int) { f(lo, hi) }
+
+// parcel is one chunk of a parallelRun dispatch, handed to the persistent
+// worker pool by value.
+type parcel struct {
+	t      rangeTask
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+var (
+	poolOnce sync.Once
+	poolCh   chan parcel
+	wgPool   = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
+)
+
+// workerPool lazily starts the persistent kernel workers (one per
+// GOMAXPROCS at first use). Spawning goroutines per dispatch would
+// allocate on every matmul; a shared pool keeps the steady-state training
+// iteration allocation-free.
+func workerPool() chan parcel {
+	poolOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		poolCh = make(chan parcel, 8*n)
+		for i := 0; i < n; i++ {
+			go func() {
+				for p := range poolCh {
+					p.t.run(p.lo, p.hi)
+					p.wg.Done()
+				}
+			}()
+		}
+	})
+	return poolCh
+}
+
 // ParallelFor executes f(lo, hi) over disjoint chunks of [0, n) using up to
-// GOMAXPROCS goroutines. It runs f(0, n) inline when n is small or only one
+// GOMAXPROCS workers. It runs f(0, n) inline when n is small or only one
 // worker is available. The chunk decomposition is deterministic, so
 // numerically order-sensitive reductions inside a chunk stay reproducible.
 func ParallelFor(n int, minChunk int, f func(lo, hi int)) {
+	parallelRun(n, minChunk, funcTask(f))
+}
+
+// parallelRun is ParallelFor over a rangeTask. The submitting goroutine
+// always runs the first chunk itself; the rest go to the worker pool. A
+// full queue (deeply concurrent dispatch) degrades to running chunks
+// inline rather than blocking, which also keeps nested dispatches
+// deadlock-free.
+func parallelRun(n, minChunk int, t rangeTask) {
 	workers := runtime.GOMAXPROCS(0)
 	if minChunk < 1 {
 		minChunk = 1
 	}
 	if workers <= 1 || n <= minChunk {
 		if n > 0 {
-			f(0, n)
+			t.run(0, n)
 		}
 		return
 	}
@@ -30,19 +85,24 @@ func ParallelFor(n int, minChunk int, f func(lo, hi int)) {
 		workers = max
 	}
 	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
+	ch := workerPool()
+	wg := wgPool.Get().(*sync.WaitGroup)
+	for lo := chunk; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			f(lo, hi)
-		}(lo, hi)
+		select {
+		case ch <- parcel{t: t, lo: lo, hi: hi, wg: wg}:
+		default:
+			t.run(lo, hi)
+			wg.Done()
+		}
 	}
+	t.run(0, chunk)
 	wg.Wait()
+	wgPool.Put(wg)
 }
 
 // mustNotShareData panics when dst shares backing storage with a source
@@ -83,14 +143,46 @@ func matMulRange(c, a, b *Mat, zero bool, lo, hi int) {
 	}
 }
 
+// Pooled dispatch tasks: one struct per kernel family so a parallel
+// dispatch reuses a recycled header instead of allocating a closure.
+type matMulTask struct {
+	c, a, b *Mat
+	zero    bool
+}
+
+func (t *matMulTask) run(lo, hi int) { matMulRange(t.c, t.a, t.b, t.zero, lo, hi) }
+
+type matMulT1Task struct {
+	c, a, b *Mat
+	zero    bool
+}
+
+func (t *matMulT1Task) run(lo, hi int) { matMulT1Range(t.c, t.a, t.b, t.zero, lo, hi) }
+
+type matMulT2Task struct {
+	c, a, b *Mat
+}
+
+func (t *matMulT2Task) run(lo, hi int) { matMulT2Range(t.c, t.a, t.b, lo, hi) }
+
+var (
+	matMulTaskPool   = sync.Pool{New: func() any { return new(matMulTask) }}
+	matMulT1TaskPool = sync.Pool{New: func() any { return new(matMulT1Task) }}
+	matMulT2TaskPool = sync.Pool{New: func() any { return new(matMulT2Task) }}
+)
+
 func matMulDispatch(c, a, b *Mat, zero bool) {
 	work := a.Rows * a.Cols * b.Cols
 	if work < parallelThreshold {
 		matMulRange(c, a, b, zero, 0, a.Rows)
 		return
 	}
+	t := matMulTaskPool.Get().(*matMulTask)
+	t.c, t.a, t.b, t.zero = c, a, b, zero
 	minChunk := parallelThreshold / (a.Cols*b.Cols + 1)
-	ParallelFor(a.Rows, minChunk+1, func(lo, hi int) { matMulRange(c, a, b, zero, lo, hi) })
+	parallelRun(a.Rows, minChunk+1, t)
+	t.c, t.a, t.b = nil, nil, nil
+	matMulTaskPool.Put(t)
 }
 
 // MatMul returns a × b in a freshly allocated matrix. It parallelises
@@ -153,8 +245,12 @@ func matMulT1Dispatch(c, a, b *Mat, zero bool) {
 		matMulT1Range(c, a, b, zero, 0, a.Cols)
 		return
 	}
+	t := matMulT1TaskPool.Get().(*matMulT1Task)
+	t.c, t.a, t.b, t.zero = c, a, b, zero
 	minChunk := parallelThreshold / (a.Rows*b.Cols + 1)
-	ParallelFor(a.Cols, minChunk+1, func(lo, hi int) { matMulT1Range(c, a, b, zero, lo, hi) })
+	parallelRun(a.Cols, minChunk+1, t)
+	t.c, t.a, t.b = nil, nil, nil
+	matMulT1TaskPool.Put(t)
 }
 
 // MatMulT1 returns aᵀ × b in a freshly allocated matrix without
@@ -221,8 +317,12 @@ func matMulT2Dispatch(c, a, b *Mat) {
 		matMulT2Range(c, a, b, 0, a.Rows)
 		return
 	}
+	t := matMulT2TaskPool.Get().(*matMulT2Task)
+	t.c, t.a, t.b = c, a, b
 	minChunk := parallelThreshold / (a.Cols*b.Rows + 1)
-	ParallelFor(a.Rows, minChunk+1, func(lo, hi int) { matMulT2Range(c, a, b, lo, hi) })
+	parallelRun(a.Rows, minChunk+1, t)
+	t.c, t.a, t.b = nil, nil, nil
+	matMulT2TaskPool.Put(t)
 }
 
 // MatMulT2 returns a × bᵀ in a freshly allocated matrix without
