@@ -1,7 +1,7 @@
 # make check mirrors .github/workflows/ci.yml for local runs.
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-smoke bench-json bench-serve staticcheck
+.PHONY: check fmt vet build test race bench bench-smoke bench-json bench-serve staticcheck recovery-smoke
 
 check: fmt vet build test race
 
@@ -42,6 +42,12 @@ staticcheck:
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; skipping (CI runs it)"; fi
+
+# Crash-recovery e2e: SIGKILL a supervised TCP cluster job mid-run and
+# require the resumed job's final checkpoint to be byte-identical to an
+# uninterrupted run's.
+recovery-smoke:
+	bash scripts/recovery_smoke.sh
 
 # Measured compute benchmarks archived as machine-readable JSON.
 bench-json:

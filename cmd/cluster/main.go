@@ -17,14 +17,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"os/signal"
 	"strings"
 	"sync"
 	"syscall"
 	"time"
 
+	"cellgan/internal/checkpoint"
 	"cellgan/internal/cluster"
 	"cellgan/internal/config"
+	"cellgan/internal/core"
 	"cellgan/internal/mpi"
 	"cellgan/internal/profile"
 	"cellgan/internal/telemetry"
@@ -52,6 +55,12 @@ func main() {
 	chaosDup := flag.Float64("chaos-dup", 0.1, "injected message duplication probability (with -chaos-seed)")
 	chaosDelay := flag.Float64("chaos-delay", 0.2, "injected message delay probability (with -chaos-seed)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address during the run")
+	ckptPath := flag.String("checkpoint", "", "rank 0: write a final resumable checkpoint here (periodic generations <path>.N with -checkpoint-every); other ranks ignore it")
+	ckptEvery := flag.Int("checkpoint-every", 0, "rank 0: also checkpoint every N iterations from the master's gathered state (-resilient or -async)")
+	ckptKeep := flag.Int("checkpoint-keep", 0, "rank 0: checkpoint generations to retain (0 = default)")
+	resume := flag.Bool("resume", false, "rank 0: resume the whole job from the newest valid checkpoint at -checkpoint (fresh start if none exists)")
+	supervise := flag.Bool("supervise", false, "run this rank under a supervisor that relaunches it with exponential backoff after a crash (rank 0 restarts with -resume)")
+	maxRestarts := flag.Int("max-restarts", 5, "restarts allowed under -supervise before giving up")
 	flag.Parse()
 
 	list := strings.Split(*addrs, ",")
@@ -93,6 +102,43 @@ func main() {
 	if *chaosSeed != 0 && !*async {
 		// Fault injection without recovery would just be a broken job.
 		*resilient = true
+	}
+	if *ckptEvery > 0 {
+		if *ckptPath == "" {
+			fatal(fmt.Errorf("-checkpoint-every needs -checkpoint"))
+		}
+		if !*resilient && !*async {
+			fatal(fmt.Errorf("-checkpoint-every needs -resilient or -async (the plain master holds no cell state)"))
+		}
+	}
+	if *resume && *ckptPath == "" {
+		fatal(fmt.Errorf("-resume needs -checkpoint"))
+	}
+
+	if *supervise {
+		// Supervisor mode: this process never touches the mesh — it
+		// relaunches itself (minus -supervise) with exponential backoff
+		// until the child exits cleanly. Rank 0's child always gets
+		// -resume, so every restart continues from the newest durable
+		// generation instead of starting over.
+		if *rank == 0 && *ckptPath == "" {
+			fatal(fmt.Errorf("-supervise on rank 0 needs -checkpoint (a restart without one would lose all progress)"))
+		}
+		child := superviseChildArgs(os.Args[1:], *rank == 0)
+		err := cluster.Supervise(cluster.SuperviseOptions{
+			MaxRestarts: *maxRestarts,
+			Logf: func(format string, args ...interface{}) {
+				fmt.Fprintf(os.Stderr, "cluster: rank %d "+format+"\n", append([]interface{}{*rank}, args...)...)
+			},
+		}, func(attempt int) error {
+			cmd := exec.Command(os.Args[0], child...)
+			cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+			return cmd.Run()
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	// The resilient and async runtimes expect peers to misbehave, so pair
@@ -169,17 +215,75 @@ func main() {
 	}
 
 	if *rank == 0 {
-		res, err := cluster.RunMaster(comm, cluster.MasterOptions{
-			Cfg:       cfg,
+		ckptMetrics := checkpoint.NewMetrics(reg)
+		jobCfg := cfg
+		mopts := cluster.MasterOptions{
 			Resilient: *resilient,
 			Async:     *async,
 			JoinSlots: *joinSlots,
 			Logf:      func(format string, args ...interface{}) { fmt.Printf(format+"\n", args...) },
 			Interrupt: interrupt,
 			Metrics:   cluster.NewMetrics(reg),
-		})
+		}
+		if *resume {
+			cp, gen, lerr := checkpoint.LoadLatest(checkpoint.OS{}, *ckptPath)
+			switch {
+			case lerr != nil:
+				// A first supervised launch has nothing on disk yet, and a
+				// crash during the very first generation write can leave
+				// only torn files; both start fresh, loudly.
+				fmt.Fprintf(os.Stderr, "cluster: no resumable checkpoint at %s (%v); starting fresh\n", *ckptPath, lerr)
+			case cp.Cfg.NumCells() != cfg.NumCells():
+				fatal(fmt.Errorf("checkpoint %s is for a %d-cell grid, flags say %d cells",
+					*ckptPath, cp.Cfg.NumCells(), cfg.NumCells()))
+			default:
+				// The stored config wins (it is what the states were
+				// trained under); only the iteration target comes from the
+				// flags — the same contract as trainer -resume.
+				jobCfg = cp.Cfg
+				jobCfg.Iterations = cfg.Iterations
+				mopts.Resume = cp.States
+				ckptMetrics.ObserveResume()
+				fmt.Printf("resuming from %s generation %d (iteration %d) to %d iterations\n",
+					*ckptPath, gen, cp.Iteration(), jobCfg.Iterations)
+			}
+		}
+		mopts.Cfg = jobCfg
+		if *ckptEvery > 0 {
+			saver, serr := checkpoint.NewSaver(checkpoint.OS{}, *ckptPath, *ckptKeep, ckptMetrics)
+			if serr != nil {
+				fatal(serr)
+			}
+			mopts.CheckpointEvery = *ckptEvery
+			// Errors surface through the master's log and the write-error
+			// counter; a lost snapshot never kills the job.
+			mopts.CheckpointSink = func(iter int, states []*core.FullState) error {
+				cp, err := checkpoint.New(jobCfg, states)
+				if err != nil {
+					return err
+				}
+				_, err = saver.Save(cp)
+				return err
+			}
+		}
+		res, err := cluster.RunMaster(comm, mopts)
 		if err != nil {
 			fatal(err)
+		}
+		if *ckptPath != "" {
+			states, serr := res.FullStates()
+			if serr == nil {
+				var cp *checkpoint.Checkpoint
+				cp, serr = checkpoint.New(jobCfg, states)
+				if serr == nil {
+					serr = checkpoint.SaveFile(*ckptPath, cp)
+				}
+			}
+			if serr != nil {
+				fmt.Fprintf(os.Stderr, "cluster: final checkpoint failed: %v\n", serr)
+			} else {
+				fmt.Printf("final checkpoint written to %s\n", *ckptPath)
+			}
 		}
 		fmt.Printf("\njob complete in %s; best cell %d (mixture fitness %.4f)\n",
 			res.Elapsed.Round(time.Millisecond), res.BestCell, res.Best().MixtureFitness)
@@ -246,6 +350,37 @@ func registerRankMetrics(reg *telemetry.Registry, rank int, cs *mpi.CommStats, f
 		func() float64 { return float64(fs.PartitionDrops.Load()) })
 	reg.GaugeFunc("mpi_fault_crashes_total", "Injected rank crashes.",
 		func() float64 { return float64(fs.Crashes.Load()) })
+}
+
+// superviseChildArgs builds the supervised child's command line: the
+// parent's flags minus the supervision ones, plus -resume on rank 0 so a
+// restarted master continues from the newest durable generation.
+func superviseChildArgs(args []string, master bool) []string {
+	out := make([]string, 0, len(args)+1)
+	skipNext := false
+	for _, a := range args {
+		if skipNext {
+			skipNext = false
+			continue
+		}
+		name, hasValue := strings.TrimLeft(a, "-"), strings.Contains(a, "=")
+		if hasValue {
+			name = name[:strings.Index(name, "=")]
+		}
+		switch name {
+		case "supervise", "resume":
+			// Boolean flags: a separate value argument is never consumed.
+			continue
+		case "max-restarts":
+			skipNext = !hasValue
+			continue
+		}
+		out = append(out, a)
+	}
+	if master {
+		out = append(out, "-resume")
+	}
+	return out
 }
 
 func fatal(err error) {

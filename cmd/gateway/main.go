@@ -152,7 +152,14 @@ func runGateway(addr, debugAddr, watch, watchModel string, opts gateway.Options)
 	defer g.Stop()
 
 	if watch != "" {
-		d, err := gateway.NewDeployer(gateway.DeployOptions{Path: watch, Model: watchModel}, g.Table(), g.Metrics())
+		dopts := gateway.DeployOptions{
+			Path:  watch,
+			Model: watchModel,
+			Logf: func(format string, args ...interface{}) {
+				fmt.Fprintf(os.Stderr, "gateway: "+format+"\n", args...)
+			},
+		}
+		d, err := gateway.NewDeployer(dopts, g.Table(), g.Metrics())
 		if err != nil {
 			fatal(err)
 		}

@@ -53,9 +53,11 @@ func main() {
 	samples := flag.Int("samples", 0, "print N generated digits as ASCII art")
 	evalQuality := flag.Bool("eval", true, "train a classifier and report inception score etc.")
 	verbose := flag.Bool("v", false, "per-iteration progress")
-	saveCkpt := flag.String("checkpoint", "", "write a resumable checkpoint here after training (seq/par modes)")
+	saveCkpt := flag.String("checkpoint", "", "write a resumable checkpoint here after training (seq/par/async modes)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "also write a checkpoint generation (<checkpoint>.N) every N iterations; needs -checkpoint")
+	ckptKeep := flag.Int("checkpoint-keep", 0, "checkpoint generations to retain (0 = default)")
 	exportMix := flag.String("export-mixture", "", "write the best cell's generator mixture here as a serving artifact (see cmd/serve)")
-	resumeCkpt := flag.String("resume", "", "resume from a checkpoint file; -iterations sets the new target")
+	resumeCkpt := flag.String("resume", "", "resume from the newest valid checkpoint at this path (generations included); -iterations sets the new target")
 	idxImages := flag.String("idx-images", "", "train on a real MNIST IDX image file (plain or .gz)")
 	idxLabels := flag.String("idx-labels", "", "label file paired with -idx-images")
 	dieting := flag.Bool("dieting", false, "data dieting: each cell trains on a disjoint 1/N data shard")
@@ -144,16 +146,57 @@ func main() {
 		}
 	}
 
+	// Periodic checkpointing: every N iterations the run's consistent cut
+	// is written as a new generation of the -checkpoint base. Sink
+	// failures are warnings — a lost snapshot must not kill training.
+	ckptMetrics := checkpoint.NewMetrics(reg)
+	sinkCfg := cfg
+	if *ckptEvery > 0 {
+		if *saveCkpt == "" {
+			fmt.Fprintln(os.Stderr, "trainer: -checkpoint-every needs -checkpoint")
+			os.Exit(2)
+		}
+		saver, serr := checkpoint.NewSaver(checkpoint.OS{}, *saveCkpt, *ckptKeep, ckptMetrics)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "trainer:", serr)
+			os.Exit(1)
+		}
+		opts.CheckpointEvery = *ckptEvery
+		opts.CheckpointSink = func(iter int, states []*core.FullState) error {
+			cp, err := checkpoint.New(sinkCfg, states)
+			var gen int
+			if err == nil {
+				gen, err = saver.Save(cp)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trainer: checkpoint at iteration %d failed: %v\n", iter, err)
+				return nil
+			}
+			if *verbose {
+				fmt.Printf("checkpoint generation %d written at iteration %d\n", gen, iter)
+			}
+			return nil
+		}
+	}
+
 	started := time.Now()
 	var res *core.Result
 	var err error
 	switch {
 	case *resumeCkpt != "":
 		var cp *checkpoint.Checkpoint
-		cp, err = checkpoint.LoadFile(*resumeCkpt)
+		var gen int
+		cp, gen, err = checkpoint.LoadLatest(checkpoint.OS{}, *resumeCkpt)
 		if err == nil {
+			from := *resumeCkpt
+			if gen > 0 {
+				from = fmt.Sprintf("%s (generation %d)", *resumeCkpt, gen)
+			}
 			fmt.Printf("resuming from %s (iteration %d) to %d iterations\n",
-				*resumeCkpt, cp.Iteration(), cfg.Iterations)
+				from, cp.Iteration(), cfg.Iterations)
+			ckptMetrics.ObserveResume()
+			sinkCfg = cp.Cfg
+			sinkCfg.Iterations = cfg.Iterations
 			res, err = checkpoint.Resume(cp, *mode, cfg.Iterations, opts)
 			if err == nil {
 				cfg = res.Cfg

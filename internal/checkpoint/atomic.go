@@ -1,0 +1,45 @@
+package checkpoint
+
+import "fmt"
+
+// atomicWriteFile writes a file crash-consistently: the payload goes to
+// path+".tmp", is fsynced, and only then renamed over path, followed by
+// an fsync of the parent directory. Every step that can leave a torn or
+// rolled-back file on a power cut is made durable before the next step
+// depends on it:
+//
+//	create tmp → write → File.Sync → close → rename(tmp, path) → SyncDir
+//
+// On any error the temp file is removed (best effort) and the previous
+// contents of path are untouched — a reader never observes a partial
+// file at path through this writer. The write callback receives the
+// open temp file; returned bytes counts what the callback wrote.
+func atomicWriteFile(fs FS, path string, write func(f File) error) (err error) {
+	tmp := path + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fs.Remove(tmp)
+		return fmt.Errorf("checkpoint: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		fs.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := fs.SyncDir(dirOf(path)); err != nil {
+		return fmt.Errorf("checkpoint: sync dir of %s: %w", path, err)
+	}
+	return nil
+}

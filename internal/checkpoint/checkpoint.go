@@ -8,10 +8,10 @@ package checkpoint
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
-	"os"
 
 	"cellgan/internal/config"
 	"cellgan/internal/core"
@@ -29,20 +29,35 @@ type Checkpoint struct {
 // FromResult captures a checkpoint from a finished (or partially
 // finished) run.
 func FromResult(res *core.Result) (*Checkpoint, error) {
-	if len(res.Full) == 0 {
-		return nil, fmt.Errorf("checkpoint: result carries no full states (async mode does not checkpoint)")
+	return New(res.Cfg, res.Full)
+}
+
+// New builds a checkpoint from per-rank full states, validating that
+// every grid cell is present and in rank order. Async snapshots are
+// allowed to mix iterations; the states just have to be complete.
+func New(cfg config.Config, states []*core.FullState) (*Checkpoint, error) {
+	if len(states) == 0 {
+		return nil, fmt.Errorf("checkpoint: no full states to checkpoint")
 	}
-	for i, f := range res.Full {
+	if len(states) != cfg.NumCells() {
+		return nil, fmt.Errorf("checkpoint: %d states for a %d-cell grid", len(states), cfg.NumCells())
+	}
+	for i, f := range states {
 		if f == nil {
 			return nil, fmt.Errorf("checkpoint: missing full state for cell %d", i)
 		}
+		if f.Cell.Rank != i {
+			return nil, fmt.Errorf("checkpoint: state %d is for rank %d", i, f.Cell.Rank)
+		}
 	}
-	return &Checkpoint{Cfg: res.Cfg, States: res.Full}, nil
+	return &Checkpoint{Cfg: cfg, States: states}, nil
 }
 
 const (
-	fileMagic   = uint64(0x43474b505430) // "CGKPT0"
-	fileVersion = uint64(1)
+	fileMagic = uint64(0x43474b505430) // "CGKPT0"
+	// fileVersion 2 added the whole-file checksum footer; version 1
+	// files (no footer) are rejected rather than trusted unchecked.
+	fileVersion = uint64(2)
 	// maxSection bounds one serialised section (256 MiB).
 	maxSection = 256 << 20
 )
@@ -68,11 +83,16 @@ func readSection(r io.Reader, rU64 func() (uint64, error)) ([]byte, error) {
 	return b, nil
 }
 
-// Write serialises the checkpoint.
+// Write serialises the checkpoint, ending with the whole-file checksum
+// footer (footer.go) that Read verifies before decoding anything.
 func Write(w io.Writer, cp *Checkpoint) error {
 	if len(cp.States) != cp.Cfg.NumCells() {
 		return fmt.Errorf("checkpoint: %d states for a %d-cell grid", len(cp.States), cp.Cfg.NumCells())
 	}
+	return writeWithFooter(w, func(w io.Writer) error { return writeBody(w, cp) })
+}
+
+func writeBody(w io.Writer, cp *Checkpoint) error {
 	bw := bufio.NewWriter(w)
 	wU64 := func(v uint64) error {
 		var b [8]byte
@@ -111,9 +131,20 @@ func Write(w io.Writer, cp *Checkpoint) error {
 	return bw.Flush()
 }
 
-// Read deserialises a checkpoint written by Write.
+// Read deserialises a checkpoint written by Write. The checksum footer
+// is verified over the complete stream before any section is decoded, so
+// torn or corrupt files fail with a clean error and never surface
+// partial state.
 func Read(r io.Reader) (*Checkpoint, error) {
-	br := bufio.NewReader(r)
+	body, err := readVerified(r, "checkpoint")
+	if err != nil {
+		return nil, err
+	}
+	return readBody(body)
+}
+
+func readBody(body []byte) (*Checkpoint, error) {
+	br := bytes.NewReader(body)
 	rU64 := func() (uint64, error) {
 		var b [8]byte
 		if _, err := io.ReadFull(br, b[:]); err != nil {
@@ -164,35 +195,31 @@ func Read(r io.Reader) (*Checkpoint, error) {
 			return nil, fmt.Errorf("checkpoint: state %d is for rank %d", i, cp.States[i].Cell.Rank)
 		}
 	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("checkpoint: %d trailing bytes after last state", br.Len())
+	}
 	return cp, nil
 }
 
-// SaveFile writes the checkpoint atomically (temp file + rename).
+// SaveFile writes the checkpoint crash-consistently: temp file, fsync,
+// rename, parent-directory fsync (atomic.go).
 func SaveFile(path string, cp *Checkpoint) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if err := Write(f, cp); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	return nil
+	return SaveFileFS(OS{}, path, cp)
+}
+
+// SaveFileFS is SaveFile through an injectable filesystem.
+func SaveFileFS(fs FS, path string, cp *Checkpoint) error {
+	return atomicWriteFile(fs, path, func(f File) error { return Write(f, cp) })
 }
 
 // LoadFile reads a checkpoint from disk.
 func LoadFile(path string) (*Checkpoint, error) {
-	f, err := os.Open(path)
+	return LoadFileFS(OS{}, path)
+}
+
+// LoadFileFS is LoadFile through an injectable filesystem.
+func LoadFileFS(fs FS, path string) (*Checkpoint, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
@@ -200,20 +227,32 @@ func LoadFile(path string) (*Checkpoint, error) {
 	return Read(f)
 }
 
-// Resume continues a checkpointed run with mode ("seq" or "par") until
-// targetIterations, returning the new result. The stored configuration is
-// reused with only the iteration target changed.
+// Resume continues a checkpointed run with mode ("seq", "par" or
+// "async") until targetIterations, returning the new result. The stored
+// configuration is reused with only the iteration target changed.
 func Resume(cp *Checkpoint, mode string, targetIterations int, opts core.RunOptions) (*core.Result, error) {
+	if cp.Iteration() >= targetIterations {
+		return nil, fmt.Errorf("checkpoint: already at iteration %d, nothing to resume for a target of %d",
+			cp.Iteration(), targetIterations)
+	}
 	cfg := cp.Cfg
 	cfg.Iterations = targetIterations
 	opts.Resume = cp.States
 	return core.Run(mode, cfg, opts)
 }
 
-// Iteration returns the iteration the checkpoint was taken at.
+// Iteration returns the iteration the checkpoint was taken at: the
+// minimum across cells, because an async snapshot may mix iterations
+// and a resume must not skip work any cell still owes.
 func (cp *Checkpoint) Iteration() int {
 	if len(cp.States) == 0 {
 		return 0
 	}
-	return cp.States[0].Cell.Iteration
+	min := cp.States[0].Cell.Iteration
+	for _, s := range cp.States[1:] {
+		if s.Cell.Iteration < min {
+			min = s.Cell.Iteration
+		}
+	}
+	return min
 }

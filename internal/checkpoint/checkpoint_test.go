@@ -148,13 +148,26 @@ func TestFromResultValidation(t *testing.T) {
 	if _, err := FromResult(&core.Result{}); err == nil {
 		t.Fatal("empty result accepted")
 	}
+	// Async mode now produces resumable full states too (PR 9 lifted the
+	// restriction); the checkpoint must round-trip like any other.
 	res, err := core.RunAsync(tinyCfg(1), core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Async mode does not produce resumable full states.
-	if _, err := FromResult(res); err == nil {
-		t.Fatal("async result accepted")
+	cp, err := FromResult(res)
+	if err != nil {
+		t.Fatalf("async result rejected: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iteration() != 1 {
+		t.Fatalf("iteration %d", got.Iteration())
 	}
 }
 

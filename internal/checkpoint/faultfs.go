@@ -1,0 +1,294 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// FaultFS is the FaultyComm of storage: a deterministic disk-fault
+// middleware between the checkpoint writer and the real filesystem.
+// Given the same (seed, plan) and the same sequence of operations it
+// injects exactly the same faults on every run, so a chaos scenario
+// that tears a checkpoint reproduces bit-for-bit.
+//
+// Its durability model is the page cache: written bytes live in a
+// buffer until a successful Sync flushes them to the inner filesystem.
+// What the inner filesystem holds IS the disk after a power cut — an
+// injected crash simply fails every subsequent mutating operation, and
+// whatever was never synced was never on disk. This makes the torn
+// states the middleware produces exactly the ones a real crash can:
+// empty temp files, prefix-only temp files, missing renames.
+//
+// Faults injected:
+//   - write errors (ENOSPC: the write persists nothing and fails)
+//   - short writes (a prefix persists, then the write fails)
+//   - sync failures (EIO: unsynced bytes are lost, the file is poisoned)
+//   - crash-points (after N mutating operations the filesystem is dead)
+//
+// Reads are never failed: a crashed FaultFS keeps serving the durable
+// state, which is what a rebooted process would see on the real disk.
+
+// Injected error values, distinguishable from real filesystem errors.
+var (
+	ErrInjectedCrash  = errors.New("checkpoint: filesystem crashed (injected fault)")
+	ErrInjectedENOSPC = errors.New("checkpoint: no space left on device (injected fault)")
+	ErrInjectedSync   = errors.New("checkpoint: sync failed, unsynced data lost (injected fault)")
+)
+
+// FSFaultPlan is a deterministic disk-fault schedule.
+type FSFaultPlan struct {
+	// Seed drives every fault decision; the same seed and operation
+	// sequence reproduce the same faults.
+	Seed uint64
+	// WriteErrProb is the probability a Write fails persisting nothing.
+	WriteErrProb float64
+	// ShortWriteProb is the probability a Write persists only a
+	// deterministic prefix before failing.
+	ShortWriteProb float64
+	// SyncErrProb is the probability a Sync fails, dropping all bytes
+	// written since the last successful Sync and poisoning the file.
+	SyncErrProb float64
+	// CrashAfterOps kills the filesystem after that many mutating
+	// operations (create/write/sync/rename/remove/syncdir) have
+	// completed; every later mutating operation fails with
+	// ErrInjectedCrash. 0 disables the crash-point. Sweeping it across
+	// 1..N lands a crash between every pair of steps of the
+	// write→sync→rename→syncdir protocol.
+	CrashAfterOps int
+	// Stats, when set, counts the injected faults.
+	Stats *FSFaultStats
+}
+
+// FSFaultStats counts faults a FaultFS injected.
+type FSFaultStats struct {
+	WriteErrors atomic.Int64
+	ShortWrites atomic.Int64
+	SyncErrors  atomic.Int64
+	Crashes     atomic.Int64
+}
+
+// NewFaultFS wraps inner with the fault plan.
+func NewFaultFS(inner FS, plan FSFaultPlan) *FaultFSImpl {
+	return &FaultFSImpl{inner: inner, plan: plan}
+}
+
+// FaultFSImpl implements FS with injected faults. Safe for concurrent
+// use; the operation order under concurrency is whatever the scheduler
+// makes it, so deterministic scenarios should drive it from one
+// goroutine (the checkpoint Saver already serialises saves).
+type FaultFSImpl struct {
+	inner FS
+	plan  FSFaultPlan
+
+	mu      sync.Mutex
+	opsDone int
+	crashed bool
+	open    map[*faultFile]struct{}
+}
+
+// Crashed reports whether the crash-point has fired.
+func (f *FaultFSImpl) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// beginOp admits one mutating operation, returning its index, or fails
+// if the filesystem is (or just became) dead.
+func (f *FaultFSImpl) beginOp() (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, ErrInjectedCrash
+	}
+	if f.plan.CrashAfterOps > 0 && f.opsDone >= f.plan.CrashAfterOps {
+		f.crashed = true
+		if f.plan.Stats != nil {
+			f.plan.Stats.Crashes.Add(1)
+		}
+		// Background writeback had gotten partway: a deterministic
+		// prefix of each open file's unsynced tail reaches the disk,
+		// leaving exactly the torn files a power cut leaves.
+		for ff := range f.open {
+			ff.tearOnCrash(f.opsDone)
+		}
+		return 0, ErrInjectedCrash
+	}
+	f.opsDone++
+	return f.opsDone, nil
+}
+
+const (
+	saltFSWriteErr   = 0x7f4a7c159e3779b9
+	saltFSShortWrite = 0x27d4eb4fc2b2ae3d
+	saltFSSyncErr    = 0x9e3779f916566781
+	saltFSShortLen   = 0x133111eb94d049bb
+	saltFSTear       = 0x4a39b70da3b19535
+)
+
+// decide maps (seed, op index, salt) to a deterministic value.
+func (f *FaultFSImpl) decide(op int, salt uint64) uint64 {
+	h := fsMix(f.plan.Seed ^ salt)
+	return fsMix(h ^ uint64(int64(op)))
+}
+
+// fsMix is the SplitMix64 finalizer, the repo's standard seeding hash.
+func fsMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fsUnit maps a hash to [0, 1).
+func fsUnit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+func (f *FaultFSImpl) Create(path string) (File, error) {
+	if _, err := f.beginOp(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	ff := &faultFile{fs: f, inner: inner}
+	f.mu.Lock()
+	if f.open == nil {
+		f.open = make(map[*faultFile]struct{})
+	}
+	f.open[ff] = struct{}{}
+	f.mu.Unlock()
+	return ff, nil
+}
+
+func (f *FaultFSImpl) Open(path string) (io.ReadCloser, error) { return f.inner.Open(path) }
+
+func (f *FaultFSImpl) ReadDir(dir string) ([]string, error) { return f.inner.ReadDir(dir) }
+
+func (f *FaultFSImpl) Rename(oldpath, newpath string) error {
+	if _, err := f.beginOp(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFSImpl) Remove(path string) error {
+	if _, err := f.beginOp(); err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+func (f *FaultFSImpl) SyncDir(dir string) error {
+	if _, err := f.beginOp(); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile buffers writes like a page cache: bytes reach the inner
+// file only on a successful Sync. A crash or a failed sync therefore
+// loses exactly the unsynced tail, like the real thing.
+type faultFile struct {
+	fs    *FaultFSImpl
+	inner File
+
+	mu       sync.Mutex
+	buf      []byte
+	poisoned bool
+}
+
+// tearOnCrash flushes a deterministic prefix of the unsynced tail to the
+// inner file — the partial background writeback a power cut freezes in
+// place. Called with the filesystem lock held, once, at the crash
+// transition.
+func (ff *faultFile) tearOnCrash(op int) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if len(ff.buf) == 0 {
+		return
+	}
+	n := int(ff.fs.decide(op, saltFSTear) % uint64(len(ff.buf)+1))
+	if n > 0 {
+		ff.inner.Write(ff.buf[:n])
+	}
+	ff.buf = nil
+	ff.poisoned = true
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	op, err := ff.fs.beginOp()
+	if err != nil {
+		return 0, err
+	}
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if ff.poisoned {
+		return 0, ErrInjectedSync
+	}
+	plan := &ff.fs.plan
+	if plan.WriteErrProb > 0 && fsUnit(ff.fs.decide(op, saltFSWriteErr)) < plan.WriteErrProb {
+		if plan.Stats != nil {
+			plan.Stats.WriteErrors.Add(1)
+		}
+		return 0, fmt.Errorf("write: %w", ErrInjectedENOSPC)
+	}
+	if plan.ShortWriteProb > 0 && len(p) > 1 &&
+		fsUnit(ff.fs.decide(op, saltFSShortWrite)) < plan.ShortWriteProb {
+		// Persist a deterministic strict prefix, then fail the call.
+		n := 1 + int(ff.fs.decide(op, saltFSShortLen)%uint64(len(p)-1))
+		ff.buf = append(ff.buf, p[:n]...)
+		if plan.Stats != nil {
+			plan.Stats.ShortWrites.Add(1)
+		}
+		return n, fmt.Errorf("short write of %d/%d bytes: %w", n, len(p), ErrInjectedENOSPC)
+	}
+	ff.buf = append(ff.buf, p...)
+	return len(p), nil
+}
+
+func (ff *faultFile) Sync() error {
+	op, err := ff.fs.beginOp()
+	if err != nil {
+		return err
+	}
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if ff.poisoned {
+		return ErrInjectedSync
+	}
+	plan := &ff.fs.plan
+	if plan.SyncErrProb > 0 && fsUnit(ff.fs.decide(op, saltFSSyncErr)) < plan.SyncErrProb {
+		// The unsynced tail is gone and the file can no longer be
+		// trusted — exactly the contract fsync gives after EIO.
+		ff.buf = nil
+		ff.poisoned = true
+		if plan.Stats != nil {
+			plan.Stats.SyncErrors.Add(1)
+		}
+		return ErrInjectedSync
+	}
+	if len(ff.buf) > 0 {
+		if _, err := ff.inner.Write(ff.buf); err != nil {
+			return err
+		}
+		ff.buf = nil
+	}
+	return ff.inner.Sync()
+}
+
+// Close discards unsynced bytes (they were never durable) and closes the
+// inner file. Close itself is not a fault point: the interesting
+// failures all live in write/sync/rename.
+func (ff *faultFile) Close() error {
+	ff.fs.mu.Lock()
+	delete(ff.fs.open, ff)
+	ff.fs.mu.Unlock()
+	ff.mu.Lock()
+	ff.buf = nil
+	ff.mu.Unlock()
+	return ff.inner.Close()
+}

@@ -1,0 +1,68 @@
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Whole-file checksum footer. Every checkpoint and mixture artifact ends
+// with 40 bytes: a footer magic followed by the sha256 of everything
+// before it. The footer is verified before a single byte of the body is
+// decoded, so a torn write, a bit flip, or a truncated copy fails fast
+// with a clean error instead of feeding garbage to the decoders. A file
+// missing its footer (short by even one byte) fails the same way — that
+// is what makes the generation loader's fallback sound.
+const (
+	footerMagic = uint64(0x434753554d5631) // "CGSUMV1"
+	footerLen   = 8 + sha256.Size
+)
+
+// writeWithFooter streams body through a sha256 tee into w, then appends
+// the checksum footer. The body callback must write the complete payload
+// (including flushing any buffering it adds) before returning.
+func writeWithFooter(w io.Writer, body func(io.Writer) error) error {
+	h := sha256.New()
+	if err := body(io.MultiWriter(w, h)); err != nil {
+		return err
+	}
+	var foot [footerLen]byte
+	binary.LittleEndian.PutUint64(foot[:8], footerMagic)
+	h.Sum(foot[8:8])
+	if _, err := w.Write(foot[:]); err != nil {
+		return err
+	}
+	return nil
+}
+
+// readVerified consumes r entirely, verifies the checksum footer, and
+// returns the body bytes (footer stripped). Any mismatch — missing
+// footer, wrong magic, checksum failure — is an error; callers never see
+// unverified bytes.
+func readVerified(r io.Reader, kind string) ([]byte, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: reading %s: %w", kind, err)
+	}
+	return verifyFooter(data, kind)
+}
+
+// verifyFooter checks data's checksum footer and returns the body.
+func verifyFooter(data []byte, kind string) ([]byte, error) {
+	if len(data) < footerLen {
+		return nil, fmt.Errorf("checkpoint: %s truncated before checksum footer (%d bytes): %w",
+			kind, len(data), io.ErrUnexpectedEOF)
+	}
+	body, foot := data[:len(data)-footerLen], data[len(data)-footerLen:]
+	if binary.LittleEndian.Uint64(foot[:8]) != footerMagic {
+		return nil, fmt.Errorf("checkpoint: %s has no checksum footer (torn or pre-v2 file)", kind)
+	}
+	sum := sha256.Sum256(body)
+	var want [sha256.Size]byte
+	copy(want[:], foot[8:])
+	if sum != want {
+		return nil, fmt.Errorf("checkpoint: %s checksum mismatch (torn or corrupt file)", kind)
+	}
+	return body, nil
+}

@@ -1,0 +1,83 @@
+package checkpoint
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the narrow filesystem surface the checkpoint writer needs. It
+// exists so the disk can be replaced the way the network already can:
+// OS{} is the real disk, FaultFS (faultfs.go) is the seeded chaos
+// middleware that injects short writes, failed syncs, ENOSPC and
+// crash-points between the write/sync/rename steps. Everything that
+// matters for crash consistency — data sync, directory sync, atomic
+// rename — is an explicit method, so a fault plan can fail each step
+// independently.
+type FS interface {
+	// Create opens path for writing, truncating any existing file.
+	Create(path string) (File, error)
+	// Open opens path for reading.
+	Open(path string) (io.ReadCloser, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// ReadDir lists the names (not paths) of the entries in dir.
+	ReadDir(dir string) ([]string, error)
+	// SyncDir fsyncs the directory itself, making a preceding rename
+	// durable. Without it a crash can roll the directory entry back to
+	// the old file even though the rename "succeeded".
+	SyncDir(dir string) error
+}
+
+// File is a writable file handle with explicit durability.
+type File interface {
+	io.Writer
+	// Sync flushes written data to stable storage.
+	Sync() error
+	// Close releases the handle; it does not imply Sync.
+	Close() error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+func (OS) Create(path string) (File, error) { return os.Create(path) }
+
+func (OS) Open(path string) (io.ReadCloser, error) { return os.Open(path) }
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OS) Remove(path string) error { return os.Remove(path) }
+
+func (OS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	// Directory fsync is unsupported on some filesystems; surface real
+	// errors but tolerate EINVAL-style refusals the way databases do.
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// dirOf returns the directory containing path, for SyncDir.
+func dirOf(path string) string { return filepath.Dir(path) }

@@ -42,6 +42,15 @@ func FuzzReadCheckpoint(f *testing.F) {
 	huge := append([]byte(nil), seed[:24]...)
 	binary.LittleEndian.PutUint64(huge[16:24], maxSection)
 	f.Add(huge)
+	// A valid body whose checksum footer is damaged by one bit: the
+	// whole-file verification must reject it before any decoding.
+	badFooter := append([]byte(nil), seed...)
+	badFooter[len(badFooter)-1] ^= 0x01
+	f.Add(badFooter)
+	// A bit flip in the body with the stale footer left in place.
+	badBody := append([]byte(nil), seed...)
+	badBody[len(badBody)/3] ^= 0x01
+	f.Add(badBody)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		cp, err := Read(bytes.NewReader(data))
 		if err != nil {
@@ -77,6 +86,9 @@ func FuzzReadMixture(f *testing.F) {
 	f.Add(seed[:17])
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 48))
+	badFooter := append([]byte(nil), seed...)
+	badFooter[len(badFooter)-1] ^= 0x01
+	f.Add(badFooter)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		a, err := ReadMixture(bytes.NewReader(data))
 		if err != nil {

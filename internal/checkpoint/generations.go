@@ -1,0 +1,173 @@
+package checkpoint
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Generation scheme: periodic checkpoints of one run are written as
+// base+".1", base+".2", ... — each file complete and crash-consistent on
+// its own, never overwritten in place. The Saver keeps the last K
+// generations; LoadLatest walks them newest-first and falls back past
+// any torn or corrupt file, so a crash mid-write (which can only damage
+// the newest generation) costs at most one cadence of progress.
+
+// generationPath returns the path of generation gen (gen >= 1).
+func generationPath(base string, gen int) string {
+	return base + "." + strconv.Itoa(gen)
+}
+
+// ListGenerations returns the generation numbers present for base, in
+// ascending order. Files that merely share the prefix (base.tmp,
+// base.3.tmp) are ignored.
+func ListGenerations(fs FS, base string) ([]int, error) {
+	dir := dirOf(base)
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: listing generations: %w", err)
+	}
+	prefix := filepath.Base(base) + "."
+	var gens []int
+	for _, name := range names {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		n, err := strconv.Atoi(name[len(prefix):])
+		if err != nil || n < 1 {
+			continue
+		}
+		gens = append(gens, n)
+	}
+	sort.Ints(gens)
+	return gens, nil
+}
+
+// DefaultKeepGenerations is how many generations a Saver retains when
+// the caller does not say otherwise.
+const DefaultKeepGenerations = 3
+
+// Saver writes successive checkpoint generations for one run and prunes
+// old ones. Safe for use from one goroutine at a time per method; the
+// mutex makes concurrent Save calls (e.g. a final save racing a periodic
+// one) serialise rather than corrupt the numbering.
+type Saver struct {
+	fs      FS
+	base    string
+	keep    int
+	metrics *Metrics
+
+	mu      sync.Mutex
+	lastGen int
+}
+
+// NewSaver creates a Saver writing generations of base. keep <= 0 uses
+// DefaultKeepGenerations. Existing generations on disk (a restart after
+// a crash) are continued, not overwritten.
+func NewSaver(fs FS, base string, keep int, m *Metrics) (*Saver, error) {
+	if keep <= 0 {
+		keep = DefaultKeepGenerations
+	}
+	s := &Saver{fs: fs, base: base, keep: keep, metrics: m}
+	gens, err := ListGenerations(fs, base)
+	if err != nil {
+		return nil, err
+	}
+	if len(gens) > 0 {
+		s.lastGen = gens[len(gens)-1]
+	}
+	return s, nil
+}
+
+// Save writes cp as the next generation and prunes generations older
+// than the keep window, returning the generation number written. A
+// failed write counts in the metrics and leaves the previous generations
+// untouched — callers may treat the error as non-fatal and try again at
+// the next cadence.
+func (s *Saver) Save(cp *Checkpoint) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gen := s.lastGen + 1
+	var written int64
+	err := atomicWriteFile(s.fs, generationPath(s.base, gen), func(f File) error {
+		cw := &countingWriter{w: f}
+		if err := Write(cw, cp); err != nil {
+			return err
+		}
+		written = cw.n
+		return nil
+	})
+	if err != nil {
+		s.metrics.ObserveWriteError()
+		return 0, err
+	}
+	s.metrics.ObserveWrite(written)
+	s.lastGen = gen
+	for g := gen - s.keep; g >= 1; g-- {
+		// Best effort: a missing or busy old generation is not an error,
+		// and once one removal target is absent the older ones were
+		// pruned by a previous pass.
+		if s.fs.Remove(generationPath(s.base, g)) != nil {
+			break
+		}
+	}
+	return gen, nil
+}
+
+// countingWriter counts bytes for the checkpoint_bytes gauge.
+type countingWriter struct {
+	w File
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// LoadLatest loads the most advanced valid checkpoint for base: every
+// generation plus base itself (the final-checkpoint path) is considered,
+// and the loadable candidate with the highest iteration wins — ties go
+// to the newest generation. Torn or corrupt files are skipped with their
+// errors collected; only if nothing loads does it fail. Returns the
+// checkpoint and the generation it came from (0 = base itself).
+//
+// Picking by iteration rather than generation number matters after a
+// completed run: the final checkpoint lands at base, ahead of every
+// surviving generation, and a resume to a higher target must start from
+// it, not from the last periodic snapshot.
+func LoadLatest(fs FS, base string) (*Checkpoint, int, error) {
+	gens, err := ListGenerations(fs, base)
+	if err != nil {
+		return nil, 0, err
+	}
+	var (
+		best    *Checkpoint
+		bestGen int
+		errs    []string
+	)
+	consider := func(path string, gen int) {
+		cp, err := LoadFileFS(fs, path)
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", path, err))
+			return
+		}
+		// Strict >: candidates are visited newest-generation-first, so on
+		// equal iterations the newer generation is kept.
+		if best == nil || cp.Iteration() > best.Iteration() {
+			best, bestGen = cp, gen
+		}
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		consider(generationPath(base, gens[i]), gens[i])
+	}
+	consider(base, 0)
+	if best == nil {
+		return nil, 0, fmt.Errorf("checkpoint: no valid checkpoint for %s: %s", base, strings.Join(errs, "; "))
+	}
+	return best, bestGen, nil
+}

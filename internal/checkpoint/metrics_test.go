@@ -1,0 +1,71 @@
+package checkpoint
+
+import (
+	"strings"
+	"testing"
+
+	"cellgan/internal/telemetry"
+)
+
+// TestCheckpointMetricsZeroAlloc pins the observation hot paths at zero
+// allocations, so periodic checkpointing can be instrumented from inside
+// the training loop without moving the compute-core alloc tripwires.
+func TestCheckpointMetricsZeroAlloc(t *testing.T) {
+	m := NewMetrics(telemetry.NewRegistry())
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"ObserveWrite", func() { m.ObserveWrite(1 << 20) }},
+		{"ObserveWriteError", m.ObserveWriteError},
+		{"ObserveResume", m.ObserveResume},
+	}
+	for _, tc := range cases {
+		tc.f()
+		if allocs := testing.AllocsPerRun(100, tc.f); allocs != 0 {
+			t.Errorf("%s: %.0f allocs per run, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestCheckpointMetricsNilSafe: a nil *Metrics observes nothing, so
+// un-instrumented callers (tests, tools) can pass nil everywhere.
+func TestCheckpointMetricsNilSafe(t *testing.T) {
+	var m *Metrics
+	m.ObserveWrite(1)
+	m.ObserveWriteError()
+	m.ObserveResume()
+}
+
+// TestCheckpointMetricsExposition: the registered series appear in the
+// text exposition with the expected names, and the freshness gauge reads
+// -1 before any write and a small non-negative age after one.
+func TestCheckpointMetricsExposition(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	text := sb.String()
+	for _, series := range []string{
+		"checkpoint_writes_total", "checkpoint_write_errors_total",
+		"recovery_resumes_total", "checkpoint_bytes",
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("exposition missing %s", series)
+		}
+	}
+	if !strings.Contains(text, "checkpoint_last_age_seconds -1") {
+		t.Errorf("freshness gauge before first write should read -1:\n%s", text)
+	}
+
+	m.ObserveWrite(123)
+	sb.Reset()
+	reg.WriteText(&sb)
+	text = sb.String()
+	if !strings.Contains(text, "checkpoint_bytes 123") {
+		t.Errorf("checkpoint_bytes not updated:\n%s", text)
+	}
+	if strings.Contains(text, "checkpoint_last_age_seconds -1") {
+		t.Errorf("freshness gauge still -1 after a write:\n%s", text)
+	}
+}

@@ -2,6 +2,7 @@ package checkpoint
 
 import (
 	"bufio"
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -36,8 +37,10 @@ type MixtureArtifact struct {
 }
 
 const (
-	mixtureMagic   = uint64(0x43474d495830) // "CGMIX0"
-	mixtureVersion = uint64(1)
+	mixtureMagic = uint64(0x43474d495830) // "CGMIX0"
+	// mixtureVersion 2 added the whole-file checksum footer; version 1
+	// files (no footer) are rejected rather than trusted unchecked.
+	mixtureVersion = uint64(2)
 )
 
 // ExportMixture extracts the generator mixture of one cell from a finished
@@ -179,11 +182,18 @@ func ShardMixture(a *MixtureArtifact, shard, of int) (*MixtureArtifact, error) {
 	return out, nil
 }
 
-// WriteMixture serialises the artifact.
+// WriteMixture serialises the artifact, ending with the whole-file
+// checksum footer. The footer is part of the serialised form, so
+// HashMixture (which hashes WriteMixture's output) still equals
+// HashMixtureBytes of the file contents.
 func WriteMixture(w io.Writer, a *MixtureArtifact) error {
 	if err := a.validate(); err != nil {
 		return err
 	}
+	return writeWithFooter(w, func(w io.Writer) error { return writeMixtureBody(w, a) })
+}
+
+func writeMixtureBody(w io.Writer, a *MixtureArtifact) error {
 	bw := bufio.NewWriter(w)
 	wU64 := func(v uint64) error {
 		var b [8]byte
@@ -232,9 +242,19 @@ func WriteMixture(w io.Writer, a *MixtureArtifact) error {
 	return bw.Flush()
 }
 
-// ReadMixture deserialises an artifact written by WriteMixture.
+// ReadMixture deserialises an artifact written by WriteMixture. The
+// checksum footer is verified over the complete stream before any
+// section is decoded.
 func ReadMixture(r io.Reader) (*MixtureArtifact, error) {
-	br := bufio.NewReader(r)
+	body, err := readVerified(r, "mixture artifact")
+	if err != nil {
+		return nil, err
+	}
+	return readMixtureBody(body)
+}
+
+func readMixtureBody(body []byte) (*MixtureArtifact, error) {
+	br := bytes.NewReader(body)
 	rU64 := func() (uint64, error) {
 		var b [8]byte
 		if _, err := io.ReadFull(br, b[:]); err != nil {
@@ -300,33 +320,19 @@ func ReadMixture(r io.Reader) (*MixtureArtifact, error) {
 			return nil, fmt.Errorf("checkpoint: mixture member %d params: %w", i, err)
 		}
 	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("checkpoint: %d trailing bytes after last mixture member", br.Len())
+	}
 	if err := a.validate(); err != nil {
 		return nil, err
 	}
 	return a, nil
 }
 
-// SaveMixtureFile writes the artifact atomically (temp file + rename).
+// SaveMixtureFile writes the artifact crash-consistently: temp file,
+// fsync, rename, parent-directory fsync (atomic.go).
 func SaveMixtureFile(path string, a *MixtureArtifact) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if err := WriteMixture(f, a); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("checkpoint: %w", err)
-	}
-	return nil
+	return atomicWriteFile(OS{}, path, func(f File) error { return WriteMixture(f, a) })
 }
 
 // LoadMixtureFile reads a mixture artifact from disk.

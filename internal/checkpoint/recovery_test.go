@@ -1,0 +1,335 @@
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"cellgan/internal/core"
+)
+
+// buildCheckpoint runs a short sequential job and captures it.
+func buildCheckpoint(t *testing.T, iters int) *Checkpoint {
+	t.Helper()
+	res, err := core.RunSequential(tinyCfg(iters), core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := FromResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+// digestDir fingerprints the durable state of a directory: sorted file
+// names with a hash of each file's content.
+func digestDir(t *testing.T, fs FS, dir string) string {
+	t.Helper()
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, name := range names {
+		f, err := fs.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(h, "%s\n", name)
+		if _, err := io.Copy(h, f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestFaultFSDeterministic: the same (seed, plan) over the same operation
+// sequence injects exactly the same faults — the durable bytes on disk
+// and the error sequence reproduce bit-for-bit, which is what makes a
+// disk-chaos scenario debuggable.
+func TestFaultFSDeterministic(t *testing.T) {
+	cp := buildCheckpoint(t, 1)
+	run := func(seed uint64) (string, string) {
+		dir := t.TempDir()
+		stats := &FSFaultStats{}
+		ffs := NewFaultFS(OS{}, FSFaultPlan{
+			Seed:           seed,
+			WriteErrProb:   0.002,
+			ShortWriteProb: 0.002,
+			SyncErrProb:    0.01,
+			Stats:          stats,
+		})
+		saver, err := NewSaver(ffs, filepath.Join(dir, "run.ckpt"), 2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var errLog bytes.Buffer
+		for i := 0; i < 5; i++ {
+			gen, err := saver.Save(cp)
+			fmt.Fprintf(&errLog, "save %d: gen %d err %v\n", i, gen, err)
+		}
+		fmt.Fprintf(&errLog, "faults: w=%d s=%d y=%d c=%d\n",
+			stats.WriteErrors.Load(), stats.ShortWrites.Load(),
+			stats.SyncErrors.Load(), stats.Crashes.Load())
+		return digestDir(t, OS{}, dir), errLog.String()
+	}
+	d1, e1 := run(7)
+	d2, e2 := run(7)
+	if e1 != e2 {
+		t.Fatalf("same seed produced different fault sequences:\n%s\nvs\n%s", e1, e2)
+	}
+	if d1 != d2 {
+		t.Fatalf("same seed produced different durable bytes: %s vs %s", d1, d2)
+	}
+}
+
+// countingFS counts mutating operations, to find the crash-sweep bounds.
+type countingFS struct {
+	inner FS
+	ops   int
+}
+
+func (c *countingFS) Create(path string) (File, error) {
+	f, err := c.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	c.ops++
+	return countingFile{c, f}, nil
+}
+func (c *countingFS) Open(path string) (io.ReadCloser, error) { return c.inner.Open(path) }
+func (c *countingFS) ReadDir(dir string) ([]string, error)    { return c.inner.ReadDir(dir) }
+func (c *countingFS) Rename(o, n string) error                { c.ops++; return c.inner.Rename(o, n) }
+func (c *countingFS) Remove(path string) error                { c.ops++; return c.inner.Remove(path) }
+func (c *countingFS) SyncDir(dir string) error                { c.ops++; return c.inner.SyncDir(dir) }
+
+type countingFile struct {
+	fs    *countingFS
+	inner File
+}
+
+func (f countingFile) Write(p []byte) (int, error) { f.fs.ops++; return f.inner.Write(p) }
+func (f countingFile) Sync() error                 { f.fs.ops++; return f.inner.Sync() }
+func (f countingFile) Close() error                { return f.inner.Close() }
+
+// TestCrashPointSweepNeverSurfacesGarbage: with a valid generation on
+// disk, a crash injected at every step of a subsequent save — create,
+// each write, sync, rename, directory sync — must leave the store
+// loadable: LoadLatest returns either the old generation or the new one,
+// never an error and never torn state. If the save reported success, the
+// new generation must be what loads (no silent rollback).
+func TestCrashPointSweepNeverSurfacesGarbage(t *testing.T) {
+	cp := buildCheckpoint(t, 1)
+	cpOld := cloneAtIteration(t, cp, 1)
+	cpNew := cloneAtIteration(t, cp, 2)
+
+	// Count the ops of one clean save to place the sweep points.
+	probeDir := t.TempDir()
+	cfs := &countingFS{inner: OS{}}
+	saver, err := NewSaver(cfs, filepath.Join(probeDir, "run.ckpt"), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := saver.Save(cpNew); err != nil {
+		t.Fatal(err)
+	}
+	totalOps := cfs.ops
+	if totalOps < 5 {
+		t.Fatalf("clean save took %d ops; the protocol has at least 5 steps", totalOps)
+	}
+
+	// Sweep every protocol-step boundary (the first and last few ops) and
+	// stride through the bulk writes in between.
+	var crashPoints []int
+	for k := 1; k <= 6 && k <= totalOps; k++ {
+		crashPoints = append(crashPoints, k)
+	}
+	for k := 7; k <= totalOps-6; k += 37 {
+		crashPoints = append(crashPoints, k)
+	}
+	for k := totalOps - 5; k <= totalOps+1; k++ {
+		if k > 6 {
+			crashPoints = append(crashPoints, k)
+		}
+	}
+
+	for _, k := range crashPoints {
+		dir := t.TempDir()
+		base := filepath.Join(dir, "run.ckpt")
+		// A valid generation is already durable before the faulty save.
+		pre, err := NewSaver(OS{}, base, 2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pre.Save(cpOld); err != nil {
+			t.Fatal(err)
+		}
+
+		stats := &FSFaultStats{}
+		ffs := NewFaultFS(OS{}, FSFaultPlan{Seed: uint64(k), CrashAfterOps: k, Stats: stats})
+		s, err := NewSaver(ffs, base, 2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, saveErr := s.Save(cpNew)
+
+		// The durable state is what OS{} holds now (FaultFS buffers
+		// unsynced bytes away). It must load, whatever happened.
+		got, gen, loadErr := LoadLatest(OS{}, base)
+		if loadErr != nil {
+			t.Fatalf("crash after %d/%d ops: LoadLatest failed: %v (save err: %v)", k, totalOps, loadErr, saveErr)
+		}
+		iter := got.Iteration()
+		if iter != 1 && iter != 2 {
+			t.Fatalf("crash after %d ops: loaded iteration %d, want 1 or 2", k, iter)
+		}
+		if saveErr == nil && iter != 2 {
+			t.Fatalf("crash after %d ops: save reported success but generation %d (iteration %d) loads", k, gen, iter)
+		}
+	}
+}
+
+// snapRecorder collects periodic snapshots from a CheckpointSink.
+type snapRecorder struct {
+	mu     sync.Mutex
+	iters  []int
+	states [][]*core.FullState
+}
+
+func (r *snapRecorder) sink(iter int, states []*core.FullState) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.iters = append(r.iters, iter)
+	r.states = append(r.states, states)
+	return nil
+}
+
+// assertSameFull fails unless the two full-state sets are bit-identical.
+func assertSameFull(t *testing.T, label string, got, want []*core.FullState) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d states, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i].Marshal(), want[i].Marshal()) {
+			t.Fatalf("%s: state %d differs", label, i)
+		}
+	}
+}
+
+// testPeriodicResumeBitExact is the lockstep-mode acceptance check: a
+// run with periodic capture is bit-identical to one without, its
+// mid-run snapshot resumes to a bit-identical final state, and the final
+// snapshot equals the final state exactly.
+func testPeriodicResumeBitExact(t *testing.T, mode string) {
+	run := func(opts core.RunOptions) *core.Result {
+		res, err := core.Run(mode, tinyCfg(4), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	golden := run(core.RunOptions{})
+	rec := &snapRecorder{}
+	periodic := run(core.RunOptions{CheckpointEvery: 2, CheckpointSink: rec.sink})
+
+	// Capture must not perturb training.
+	assertSameFull(t, "periodic vs plain final state", periodic.Full, golden.Full)
+	if len(rec.iters) != 2 || rec.iters[0] != 2 || rec.iters[1] != 4 {
+		t.Fatalf("snapshot iterations %v, want [2 4]", rec.iters)
+	}
+	for _, states := range rec.states {
+		for i, s := range states {
+			if s == nil || s.Cell.Rank != i {
+				t.Fatalf("snapshot has bad state at %d", i)
+			}
+		}
+	}
+	// The final snapshot IS the final state.
+	assertSameFull(t, "final snapshot vs final state", rec.states[1], golden.Full)
+
+	// The mid-run snapshot resumes bit-exactly to the uninterrupted end.
+	cp, err := New(tinyCfg(4), rec.states[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Iteration() != 2 {
+		t.Fatalf("mid-run snapshot at iteration %d, want 2", cp.Iteration())
+	}
+	resumed, err := Resume(cp, mode, 4, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameFull(t, "resumed vs uninterrupted", resumed.Full, golden.Full)
+}
+
+func TestSeqPeriodicResumeBitExact(t *testing.T) { testPeriodicResumeBitExact(t, "seq") }
+
+func TestParPeriodicResumeBitExact(t *testing.T) { testPeriodicResumeBitExact(t, "par") }
+
+// TestAsyncPeriodicSnapshotsMonotonicAndResumable: the asynchronous mode
+// has no shared boundary, so the guarantees are weaker but still firm:
+// snapshots are complete, per-cell iterations never move backwards
+// across successive snapshots, each snapshot's key is the minimum
+// iteration present, and the newest snapshot resumes in async mode to a
+// completed run.
+func TestAsyncPeriodicSnapshotsMonotonicAndResumable(t *testing.T) {
+	cfg := tinyCfg(6)
+	rec := &snapRecorder{}
+	if _, err := core.Run("async", cfg, core.RunOptions{CheckpointEvery: 2, CheckpointSink: rec.sink}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.iters) == 0 {
+		t.Fatal("async run emitted no snapshots")
+	}
+	n := cfg.NumCells()
+	prev := make([]int, n)
+	for si, states := range rec.states {
+		if len(states) != n {
+			t.Fatalf("snapshot %d has %d states, want %d", si, len(states), n)
+		}
+		min := -1
+		for i, s := range states {
+			if s == nil || s.Cell.Rank != i {
+				t.Fatalf("snapshot %d: bad state at %d", si, i)
+			}
+			if s.Cell.Iteration < prev[i] {
+				t.Fatalf("snapshot %d: cell %d went backwards %d -> %d", si, i, prev[i], s.Cell.Iteration)
+			}
+			prev[i] = s.Cell.Iteration
+			if min < 0 || s.Cell.Iteration < min {
+				min = s.Cell.Iteration
+			}
+		}
+		if rec.iters[si] != min {
+			t.Fatalf("snapshot %d keyed %d, min iteration is %d", si, rec.iters[si], min)
+		}
+		if si > 0 && rec.iters[si] <= rec.iters[si-1] {
+			t.Fatalf("snapshot keys not increasing: %v", rec.iters)
+		}
+	}
+
+	last := rec.states[len(rec.states)-1]
+	cp, err := New(cfg, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(cp, "async", 8, core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range resumed.Full {
+		if f.Cell.Iteration != 8 {
+			t.Fatalf("resumed async cell %d at iteration %d, want 8", i, f.Cell.Iteration)
+		}
+	}
+}

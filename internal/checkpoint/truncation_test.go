@@ -1,0 +1,257 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cellgan/internal/core"
+)
+
+// truncationPrefixes picks the prefix lengths to test for a stream of n
+// bytes: every length near the ends (where the header and the footer
+// live) and an even stride through the middle, so the matrix stays
+// O(hundreds) of decode attempts regardless of stream size.
+func truncationPrefixes(n int) []int {
+	edge := 256
+	if n <= 2*edge {
+		out := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, i)
+		}
+		return out
+	}
+	var out []int
+	for i := 0; i < edge; i++ {
+		out = append(out, i)
+	}
+	stride := (n - 2*edge) / 256
+	if stride < 1 {
+		stride = 1
+	}
+	for i := edge; i < n-edge; i += stride {
+		out = append(out, i)
+	}
+	for i := n - edge; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// TestTruncationMatrixCheckpoint: every strict prefix of a checkpoint
+// stream must fail with a clean error — the footer is verified over the
+// whole file before any section is decoded, so no truncation point can
+// surface partial state.
+func TestTruncationMatrixCheckpoint(t *testing.T) {
+	res, err := core.RunSequential(tinyCfg(1), core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := FromResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	t.Logf("checkpoint stream: %d bytes, %d prefixes tested", len(full), len(truncationPrefixes(len(full))))
+	for _, n := range truncationPrefixes(len(full)) {
+		if _, err := Read(bytes.NewReader(full[:n])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", n, len(full))
+		}
+	}
+	if _, err := Read(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full stream failed to decode: %v", err)
+	}
+}
+
+// TestTruncationMatrixMixture is the same matrix for the serving-side
+// mixture artifact.
+func TestTruncationMatrixMixture(t *testing.T) {
+	res, err := core.RunSequential(tinyCfg(1), core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ExportMixture(res, res.BestRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMixture(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, n := range truncationPrefixes(len(full)) {
+		if _, err := ReadMixture(bytes.NewReader(full[:n])); err == nil {
+			t.Fatalf("mixture prefix of %d/%d bytes decoded without error", n, len(full))
+		}
+	}
+	if _, err := ReadMixture(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full mixture stream failed to decode: %v", err)
+	}
+}
+
+// cloneAtIteration deep-copies cp with every cell's iteration forced to
+// iter, giving the generation tests distinguishable checkpoints without
+// running real training between saves.
+func cloneAtIteration(t *testing.T, cp *Checkpoint, iter int) *Checkpoint {
+	t.Helper()
+	states := make([]*core.FullState, len(cp.States))
+	for i, s := range cp.States {
+		f, err := core.UnmarshalFullState(s.Marshal())
+		if err != nil {
+			t.Fatalf("cloning state %d: %v", i, err)
+		}
+		f.Cell.Iteration = iter
+		states[i] = f
+	}
+	out, err := New(cp.Cfg, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestLoadLatestFallsBackPastTornGenerations: LoadLatest must skip a
+// truncated newest generation, skip a bit-flipped one below it, and load
+// the newest generation that still verifies.
+func TestLoadLatestFallsBackPastTornGenerations(t *testing.T) {
+	res, err := core.RunSequential(tinyCfg(1), core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := FromResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(t.TempDir(), "run.ckpt")
+	saver, err := NewSaver(OS{}, base, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 1; iter <= 3; iter++ {
+		if gen, err := saver.Save(cloneAtIteration(t, cp, iter)); err != nil || gen != iter {
+			t.Fatalf("Save iter %d = (gen %d, %v)", iter, gen, err)
+		}
+	}
+
+	// Intact: the newest generation wins.
+	got, gen, err := LoadLatest(OS{}, base)
+	if err != nil {
+		t.Fatalf("LoadLatest intact: %v", err)
+	}
+	if gen != 3 || got.Iteration() != 3 {
+		t.Fatalf("LoadLatest intact = (iter %d, gen %d), want (3, 3)", got.Iteration(), gen)
+	}
+
+	// Truncate generation 3 (a crash mid-write), bit-flip generation 2
+	// (media corruption): generation 1 must load.
+	g3, g2 := generationPath(base, 3), generationPath(base, 2)
+	if err := os.Truncate(g3, fileSize(t, g3)/2); err != nil {
+		t.Fatal(err)
+	}
+	flipByte(t, g2, fileSize(t, g2)/3)
+	got, gen, err = LoadLatest(OS{}, base)
+	if err != nil {
+		t.Fatalf("LoadLatest after damage: %v", err)
+	}
+	if gen != 1 || got.Iteration() != 1 {
+		t.Fatalf("LoadLatest after damage = (iter %d, gen %d), want (1, 1)", got.Iteration(), gen)
+	}
+
+	// A final checkpoint at base that is ahead of every generation wins
+	// even though its "generation" is 0.
+	if err := SaveFile(base, cloneAtIteration(t, cp, 5)); err != nil {
+		t.Fatal(err)
+	}
+	got, gen, err = LoadLatest(OS{}, base)
+	if err != nil {
+		t.Fatalf("LoadLatest with final: %v", err)
+	}
+	if gen != 0 || got.Iteration() != 5 {
+		t.Fatalf("LoadLatest with final = (iter %d, gen %d), want (5, 0)", got.Iteration(), gen)
+	}
+
+	// Nothing valid at all: the error names every candidate it rejected.
+	if err := os.Remove(generationPath(base, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(base, 10); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = LoadLatest(OS{}, base)
+	if err == nil {
+		t.Fatal("LoadLatest with no valid candidate returned nil error")
+	}
+	for _, path := range []string{base, g3, g2} {
+		if !strings.Contains(err.Error(), filepath.Base(path)) {
+			t.Fatalf("error does not mention rejected candidate %s: %v", path, err)
+		}
+	}
+}
+
+// TestSaverContinuesNumberingAndPrunes: a Saver restarted over existing
+// generations continues the numbering (never overwriting a durable file)
+// and keeps only the configured window.
+func TestSaverContinuesNumberingAndPrunes(t *testing.T) {
+	res, err := core.RunSequential(tinyCfg(1), core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := FromResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(t.TempDir(), "run.ckpt")
+	saver, err := NewSaver(OS{}, base, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := saver.Save(cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// keep=2: generations 2 and 3 survive, 1 is pruned.
+	gens, err := ListGenerations(OS{}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 2 || gens[0] != 2 || gens[1] != 3 {
+		t.Fatalf("generations after 3 saves with keep=2: %v, want [2 3]", gens)
+	}
+
+	// A new Saver (the restarted process) picks up at 4.
+	saver2, err := NewSaver(OS{}, base, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen, err := saver2.Save(cp); err != nil || gen != 4 {
+		t.Fatalf("restarted Save = (gen %d, %v), want (4, nil)", gen, err)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+func flipByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[off] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -147,7 +147,9 @@ func (s *slave) executeAsync(task runTask) {
 	}
 
 	if !task.Joiner {
-		if err := adopt(task.CellRank, nil, false, "", inf()); err != nil {
+		// task.Full is empty on a fresh start and carries the cell's
+		// resume state after a whole-job restart.
+		if err := adopt(task.CellRank, task.Full, false, "", inf()); err != nil {
 			finishErr(err)
 			return
 		}
@@ -460,6 +462,9 @@ func runMasterAsync(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) {
 			Node: placements[s].Node, Core: placements[s].Core,
 			Async: true,
 		}
+		if opts.Resume != nil {
+			task.Full = opts.Resume[s-1].Marshal()
+		}
 		payload, err := task.marshal()
 		if err != nil {
 			return nil, err
@@ -499,6 +504,17 @@ func runMasterAsync(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) {
 	for c := 0; c < nCells; c++ {
 		track[c] = &cellTrack{owner: c + 1, fitness: inf()}
 	}
+	if opts.Resume != nil {
+		seedTrackFromResume(track, opts.Resume)
+		logf("master: resumed %d cells (iterations %v)", nCells, func() []int {
+			its := make([]int, nCells)
+			for c, t := range track {
+				its[c] = t.iter
+			}
+			return its
+		}())
+	}
+	ck := newMasterCkpt(opts, false, logf)
 	merge := func(cells []cellBlob) bool {
 		advanced := false
 		for _, cb := range cells {
@@ -804,6 +820,10 @@ func runMasterAsync(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) {
 				lastProgress = time.Now()
 			}
 		}
+		// Best-effort newest-wins snapshot whenever the slowest cell has
+		// crossed a full cadence; the merge's monotonicity keeps per-cell
+		// iterations monotonic across successive snapshots.
+		ck.observe(track)
 
 		abortNow = interrupted(opts.Interrupt) ||
 			(!jobDeadline.IsZero() && time.Now().After(jobDeadline))

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"fmt"
+
+	"cellgan/internal/core"
+)
+
+// Master-side resume and periodic-checkpoint support. The master is the
+// natural checkpoint agent for the cluster modes: in resilient mode it
+// already gathers every cell's full state each round (a consistent cut
+// by construction), and in async mode it merges the slaves' inventory
+// uploads monotonically (a best-effort newest-wins snapshot). Resume is
+// the inverse: the master seeds its per-cell view from a prior run's
+// states and dispatches each one with its run task, so a whole job
+// restarts bit-exactly from the last durable generation.
+
+// validateResume checks the Resume/CheckpointEvery options before any
+// mode-specific master runs.
+func validateResume(opts MasterOptions) error {
+	if opts.CheckpointEvery < 0 {
+		return fmt.Errorf("cluster: negative CheckpointEvery %d", opts.CheckpointEvery)
+	}
+	if opts.Resume == nil {
+		return nil
+	}
+	n := opts.Cfg.NumCells()
+	if len(opts.Resume) != n {
+		return fmt.Errorf("cluster: resume carries %d cell states, config needs %d", len(opts.Resume), n)
+	}
+	first := 0
+	uniform := true
+	for c, f := range opts.Resume {
+		if f == nil {
+			return fmt.Errorf("cluster: resume state for cell %d is nil", c)
+		}
+		if f.Cell.Rank != c {
+			return fmt.Errorf("cluster: resume state %d is for cell %d", c, f.Cell.Rank)
+		}
+		if f.Cell.Iteration > opts.Cfg.Iterations {
+			return fmt.Errorf("cluster: resume state for cell %d is at iteration %d, past the %d-iteration target",
+				c, f.Cell.Iteration, opts.Cfg.Iterations)
+		}
+		if c == 0 {
+			first = f.Cell.Iteration
+		} else if f.Cell.Iteration != first {
+			uniform = false
+		}
+	}
+	if !uniform && !opts.Async {
+		return fmt.Errorf("cluster: resume states mix iterations; only mode \"async\" accepts that")
+	}
+	return nil
+}
+
+// seedTrackFromResume primes the master's per-cell view with the resume
+// states, so eviction re-dispatch, owner updates, the done check and
+// periodic snapshots all see the restored iterations before the first
+// upload arrives.
+func seedTrackFromResume(track []*cellTrack, resume []*core.FullState) {
+	for c, f := range resume {
+		t := track[c]
+		t.iter = f.Cell.Iteration
+		t.full = f.Marshal()
+		t.state = f.Cell.Marshal()
+	}
+}
+
+// masterCkpt emits periodic whole-job snapshots from the master's merged
+// inventory. Lockstep (resilient) captures fire exactly at cadence
+// boundaries — every live cell sits at the same iteration k, so the
+// snapshot is the same consistent cut the in-process collector takes.
+// Async captures fire whenever the slowest cell has crossed a full
+// cadence since the last snapshot; per-cell iterations across successive
+// snapshots are monotonic because the master's merge is.
+type masterCkpt struct {
+	every    int
+	lockstep bool
+	sink     func(int, []*core.FullState) error
+	logf     func(string, ...interface{})
+	lastSunk int
+}
+
+// newMasterCkpt returns nil when no cadence is configured. A resumed job
+// starts its cadence after the resume point, never re-emitting the
+// generation it was loaded from.
+func newMasterCkpt(opts MasterOptions, lockstep bool, logf func(string, ...interface{})) *masterCkpt {
+	if opts.CheckpointEvery <= 0 || opts.CheckpointSink == nil {
+		return nil
+	}
+	ck := &masterCkpt{every: opts.CheckpointEvery, lockstep: lockstep, sink: opts.CheckpointSink, logf: logf}
+	if opts.Resume != nil {
+		min := -1
+		for _, f := range opts.Resume {
+			if min < 0 || f.Cell.Iteration < min {
+				min = f.Cell.Iteration
+			}
+		}
+		ck.lastSunk = min
+	}
+	return ck
+}
+
+// observe checks the tracked inventory and emits a snapshot when due.
+// Sink and decode failures skip the snapshot with a log line — a lost
+// checkpoint must never kill the training run. Safe on a nil receiver.
+func (ck *masterCkpt) observe(track []*cellTrack) {
+	if ck == nil {
+		return
+	}
+	min := -1
+	for _, t := range track {
+		if len(t.full) == 0 {
+			return // some cell's state was never gathered yet
+		}
+		if min < 0 || t.iter < min {
+			min = t.iter
+		}
+	}
+	if min <= 0 {
+		return
+	}
+	if ck.lockstep {
+		if min%ck.every != 0 || min <= ck.lastSunk {
+			return
+		}
+	} else if min < ck.lastSunk+ck.every {
+		return
+	}
+	states := make([]*core.FullState, len(track))
+	for c, t := range track {
+		f, err := core.UnmarshalFullState(t.full)
+		if err != nil {
+			ck.logf("master: checkpoint at iteration %d skipped: cell %d state undecodable: %v", min, c, err)
+			return
+		}
+		states[c] = f
+	}
+	ck.lastSunk = min
+	if err := ck.sink(min, states); err != nil {
+		ck.logf("master: checkpoint at iteration %d failed: %v", min, err)
+	}
+}

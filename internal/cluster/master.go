@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cellgan/internal/config"
+	"cellgan/internal/core"
 	"cellgan/internal/mpi"
 	"cellgan/internal/profile"
 )
@@ -61,6 +62,22 @@ type MasterOptions struct {
 	// Metrics, when non-nil, receives the master's runtime counters; nil
 	// records nothing.
 	Metrics *Metrics
+
+	// Resume, when non-nil, seeds every cell from a prior run's full
+	// states (one per cell, in rank order): the master dispatches each
+	// state with its run task and tracks the recorded iterations from the
+	// start. Lockstep modes require uniform iterations; async accepts the
+	// mixed iterations its own snapshots record.
+	Resume []*core.FullState
+	// CheckpointEvery, with CheckpointSink, makes the master emit
+	// periodic whole-job snapshots from its gathered inventory: a
+	// consistent cut at every CheckpointEvery-th iteration in resilient
+	// mode, a best-effort newest-wins snapshot each time the slowest cell
+	// crosses a cadence in async mode. The plain mode holds no inventory
+	// and ignores the cadence. Sink failures are logged and counted,
+	// never fatal — losing a snapshot must not kill the training run.
+	CheckpointEvery int
+	CheckpointSink  func(iteration int, states []*core.FullState) error
 }
 
 // RunMaster executes the master role on rank 0 of comm (Fig 3, left). The
@@ -106,6 +123,9 @@ func RunMaster(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) {
 	if opts.Metrics == nil {
 		opts.Metrics = NewMetrics(nil)
 	}
+	if err := validateResume(opts); err != nil {
+		return nil, err
+	}
 	if opts.Async {
 		return runMasterAsync(comm, opts)
 	}
@@ -149,6 +169,9 @@ func RunMaster(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) {
 	// (iv) Share the parameter configuration and start the slaves.
 	for s := 1; s <= nSlaves; s++ {
 		task := runTask{Cfg: opts.Cfg, CellRank: s - 1, Node: placements[s].Node, Core: placements[s].Core}
+		if opts.Resume != nil {
+			task.Full = opts.Resume[s-1].Marshal()
+		}
 		payload, err := task.marshal()
 		if err != nil {
 			return nil, err

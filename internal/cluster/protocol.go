@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"cellgan/internal/config"
+	"cellgan/internal/core"
 	"cellgan/internal/profile"
 )
 
@@ -111,6 +112,10 @@ type runTask struct {
 	// Joiner marks a task granted to a mid-run joiner: CellRank is -1 and
 	// the slave's initial cells arrive in the first ownerUpdate instead.
 	Joiner bool `json:"joiner,omitempty"`
+	// Full, when non-empty, is the marshalled core.FullState the slave
+	// restores its cell from before training — the whole-job resume path.
+	// Empty means a fresh start.
+	Full []byte `json:"full,omitempty"`
 }
 
 func (r runTask) marshal() ([]byte, error) { return json.Marshal(r) }
@@ -404,4 +409,31 @@ func (j *JobResult) Best() SlaveReport {
 		}
 	}
 	return SlaveReport{}
+}
+
+// FullStates decodes every report's full training state in cell-rank
+// order — the raw material of a final whole-job checkpoint. It fails if
+// any cell's report lacks a full state (a pre-PR-9 plain run, or a cell
+// lost before its first state was ever gathered).
+func (j *JobResult) FullStates() ([]*core.FullState, error) {
+	out := make([]*core.FullState, len(j.Reports))
+	for _, rep := range j.Reports {
+		if rep.CellRank < 0 || rep.CellRank >= len(out) {
+			return nil, fmt.Errorf("cluster: report cell rank %d out of range [0,%d)", rep.CellRank, len(out))
+		}
+		if len(rep.Full) == 0 {
+			return nil, fmt.Errorf("cluster: cell %d report carries no full state", rep.CellRank)
+		}
+		f, err := core.UnmarshalFullState(rep.Full)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: decoding cell %d full state: %w", rep.CellRank, err)
+		}
+		out[rep.CellRank] = f
+	}
+	for c, f := range out {
+		if f == nil {
+			return nil, fmt.Errorf("cluster: no report for cell %d", c)
+		}
+	}
+	return out, nil
 }

@@ -1,0 +1,402 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"cellgan/internal/checkpoint"
+	"cellgan/internal/core"
+)
+
+// clusterSnapRecorder collects master-side periodic snapshots.
+type clusterSnapRecorder struct {
+	mu     sync.Mutex
+	iters  []int
+	states [][]*core.FullState
+}
+
+func (r *clusterSnapRecorder) sink(iter int, states []*core.FullState) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.iters = append(r.iters, iter)
+	r.states = append(r.states, states)
+	return nil
+}
+
+// opsCountFS counts mutating filesystem operations, to calibrate the
+// crash point of the supervised-recovery scenario.
+type opsCountFS struct {
+	checkpoint.FS
+	ops int
+}
+
+func (c *opsCountFS) Create(path string) (checkpoint.File, error) {
+	f, err := c.FS.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	c.ops++
+	return opsCountFile{c, f}, nil
+}
+func (c *opsCountFS) Rename(o, n string) error { c.ops++; return c.FS.Rename(o, n) }
+func (c *opsCountFS) Remove(path string) error { c.ops++; return c.FS.Remove(path) }
+func (c *opsCountFS) SyncDir(dir string) error { c.ops++; return c.FS.SyncDir(dir) }
+
+type opsCountFile struct {
+	fs    *opsCountFS
+	inner checkpoint.File
+}
+
+func (f opsCountFile) Write(p []byte) (int, error) { f.fs.ops++; return f.inner.Write(p) }
+func (f opsCountFile) Sync() error                 { f.fs.ops++; return f.inner.Sync() }
+func (f opsCountFile) Close() error                { return f.inner.Close() }
+
+func clusterAssertSameFull(t *testing.T, label string, got, want []*core.FullState) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d states, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i].Marshal(), want[i].Marshal()) {
+			t.Fatalf("%s: state %d differs", label, i)
+		}
+	}
+}
+
+// TestResilientPeriodicResumeBitExact: the resilient master's periodic
+// snapshots are consistent cuts — resuming the mid-run snapshot through
+// the whole cluster runtime lands bit-identically on the uninterrupted
+// run's final state, and capture itself does not perturb training.
+func TestResilientPeriodicResumeBitExact(t *testing.T) {
+	cfg := jobConfig()
+	cfg.Iterations = 4
+
+	golden, err := RunJob(MasterOptions{Cfg: cfg, Resilient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenFull, err := golden.FullStates()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := &clusterSnapRecorder{}
+	periodic, err := RunJob(MasterOptions{
+		Cfg: cfg, Resilient: true,
+		CheckpointEvery: 2, CheckpointSink: rec.sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	periodicFull, err := periodic.FullStates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusterAssertSameFull(t, "periodic vs plain final state", periodicFull, goldenFull)
+	if len(rec.iters) != 2 || rec.iters[0] != 2 || rec.iters[1] != 4 {
+		t.Fatalf("snapshot iterations %v, want [2 4]", rec.iters)
+	}
+	for _, s := range rec.states[0] {
+		if s.Cell.Iteration != 2 {
+			t.Fatalf("mid-run snapshot mixes iterations in lockstep mode: cell %d at %d", s.Cell.Rank, s.Cell.Iteration)
+		}
+	}
+	clusterAssertSameFull(t, "final snapshot vs final state", rec.states[1], goldenFull)
+
+	resumed, err := RunJob(MasterOptions{Cfg: cfg, Resilient: true, Resume: rec.states[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumedFull, err := resumed.FullStates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusterAssertSameFull(t, "resumed vs uninterrupted", resumedFull, goldenFull)
+}
+
+// TestPlainMasterIgnoresCadence: the plain (non-resilient, non-async)
+// master has no per-iteration inventory, so a configured cadence emits
+// nothing rather than lying with stale states.
+func TestPlainMasterIgnoresCadence(t *testing.T) {
+	rec := &clusterSnapRecorder{}
+	if _, err := RunJob(MasterOptions{
+		Cfg:             jobConfig(),
+		CheckpointEvery: 1, CheckpointSink: rec.sink,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.iters) != 0 {
+		t.Fatalf("plain master emitted %d snapshots, want 0", len(rec.iters))
+	}
+}
+
+// TestAsyncClusterSnapshotsMonotonicAndResumable: the async master's
+// best-effort snapshots are complete, per-cell monotonic, keyed by the
+// minimum iteration, and the newest one resumes through the async
+// cluster runtime to a completed job.
+func TestAsyncClusterSnapshotsMonotonicAndResumable(t *testing.T) {
+	cfg := jobConfig()
+	cfg.Iterations = 6
+
+	rec := &clusterSnapRecorder{}
+	res, err := RunJob(MasterOptions{
+		Cfg: cfg, Async: true,
+		CheckpointEvery: 2, CheckpointSink: rec.sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted {
+		t.Fatal("async job aborted")
+	}
+	if len(rec.iters) == 0 {
+		t.Fatal("async master emitted no snapshots")
+	}
+	n := cfg.NumCells()
+	prev := make([]int, n)
+	for si, states := range rec.states {
+		if len(states) != n {
+			t.Fatalf("snapshot %d has %d states, want %d", si, len(states), n)
+		}
+		min := -1
+		for i, s := range states {
+			if s == nil || s.Cell.Rank != i {
+				t.Fatalf("snapshot %d: bad state at %d", si, i)
+			}
+			if s.Cell.Iteration < prev[i] {
+				t.Fatalf("snapshot %d: cell %d went backwards %d -> %d", si, i, prev[i], s.Cell.Iteration)
+			}
+			prev[i] = s.Cell.Iteration
+			if min < 0 || s.Cell.Iteration < min {
+				min = s.Cell.Iteration
+			}
+		}
+		if rec.iters[si] != min {
+			t.Fatalf("snapshot %d keyed %d, min is %d", si, rec.iters[si], min)
+		}
+	}
+
+	// Whole-job resume of the newest async snapshot, mixed iterations and
+	// all, runs to the higher target.
+	resumeCfg := cfg
+	resumeCfg.Iterations = 8
+	resumed, err := RunJob(MasterOptions{
+		Cfg: resumeCfg, Async: true,
+		Resume: rec.states[len(rec.states)-1],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := resumed.FullStates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range full {
+		if f.Cell.Iteration != 8 {
+			t.Fatalf("resumed async cell %d at iteration %d, want 8", i, f.Cell.Iteration)
+		}
+	}
+}
+
+// TestResumeValidationRejectsBadSets: the master refuses resume sets
+// that cannot be what they claim — wrong cardinality, out-of-order
+// ranks, mixed iterations outside async, an iteration past the target.
+func TestResumeValidationRejectsBadSets(t *testing.T) {
+	cfg := jobConfig()
+	res, err := RunJob(MasterOptions{Cfg: cfg, Resilient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := res.FullStates()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := validateResume(MasterOptions{Cfg: cfg, Resume: full[:1]}); err == nil {
+		t.Fatal("short resume set accepted")
+	}
+
+	swapped := append([]*core.FullState(nil), full...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if err := validateResume(MasterOptions{Cfg: cfg, Resume: swapped}); err == nil {
+		t.Fatal("rank-disordered resume set accepted")
+	}
+
+	mixed := make([]*core.FullState, len(full))
+	for i, f := range full {
+		g, err := core.UnmarshalFullState(f.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mixed[i] = g
+	}
+	mixed[0].Cell.Iteration = 1
+	if err := validateResume(MasterOptions{Cfg: cfg, Resume: mixed}); err == nil {
+		t.Fatal("mixed-iteration resume set accepted outside async mode")
+	}
+	if err := validateResume(MasterOptions{Cfg: cfg, Async: true, Resume: mixed}); err != nil {
+		t.Fatalf("async mode rejected a mixed-iteration snapshot: %v", err)
+	}
+
+	past := jobConfig()
+	past.Iterations = 1 // states are at 2
+	if err := validateResume(MasterOptions{Cfg: past, Resume: full}); err == nil {
+		t.Fatal("resume beyond the iteration target accepted")
+	}
+
+	// At-target resume is legal: the job finalizes with zero iterations.
+	if err := validateResume(MasterOptions{Cfg: cfg, Resume: full}); err != nil {
+		t.Fatalf("at-target resume rejected: %v", err)
+	}
+}
+
+// TestSuperviseBackoffSchedule: the restart loop runs the exponential
+// schedule with a cap, passes the attempt index through, and gives up
+// with the last error after MaxRestarts restarts.
+func TestSuperviseBackoffSchedule(t *testing.T) {
+	var sleeps []time.Duration
+	var attempts []int
+	boom := errors.New("boom")
+	err := Supervise(SuperviseOptions{
+		MaxRestarts:    3,
+		InitialBackoff: 100 * time.Millisecond,
+		MaxBackoff:     300 * time.Millisecond,
+		Sleep:          func(d time.Duration) { sleeps = append(sleeps, d) },
+	}, func(attempt int) error {
+		attempts = append(attempts, attempt)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("exhausted supervisor error = %v, want wrapped boom", err)
+	}
+	wantAttempts := []int{0, 1, 2, 3}
+	if fmt.Sprint(attempts) != fmt.Sprint(wantAttempts) {
+		t.Fatalf("attempts %v, want %v", attempts, wantAttempts)
+	}
+	wantSleeps := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 300 * time.Millisecond}
+	if fmt.Sprint(sleeps) != fmt.Sprint(wantSleeps) {
+		t.Fatalf("sleeps %v, want %v", sleeps, wantSleeps)
+	}
+}
+
+func TestSuperviseStopsOnSuccess(t *testing.T) {
+	var sleeps int
+	err := Supervise(SuperviseOptions{
+		Sleep: func(time.Duration) { sleeps++ },
+	}, func(attempt int) error {
+		if attempt < 2 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("supervisor with eventual success returned %v", err)
+	}
+	if sleeps != 2 {
+		t.Fatalf("slept %d times, want 2", sleeps)
+	}
+}
+
+// TestSupervisedRecoveryBitExact is the whole-job recovery acceptance in
+// miniature: attempt 0 trains with periodic checkpointing and crashes
+// mid-job (a disk-fault-injected filesystem kills the process's saves,
+// then the job "dies"); the supervisor restarts, attempt 1 resumes from
+// the newest valid generation and finishes. The final state must be
+// bit-identical to a run that never crashed.
+func TestSupervisedRecoveryBitExact(t *testing.T) {
+	cfg := jobConfig()
+	cfg.Iterations = 4
+
+	golden, err := RunJob(MasterOptions{Cfg: cfg, Resilient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenFull, err := golden.FullStates()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := filepath.Join(t.TempDir(), "job.ckpt")
+	crashed := errors.New("job crashed")
+	var finalFull []*core.FullState
+	err = Supervise(SuperviseOptions{
+		Sleep: func(time.Duration) {}, // instant backoff in tests
+	}, func(attempt int) error {
+		var resume []*core.FullState
+		if attempt > 0 {
+			cp, gen, err := checkpoint.LoadLatest(checkpoint.OS{}, base)
+			if err != nil {
+				return err
+			}
+			if cp.Iteration() >= cfg.Iterations {
+				return fmt.Errorf("generation %d already at target", gen)
+			}
+			resume = cp.States
+		}
+
+		// Attempt 0 writes through a filesystem that dies after the first
+		// generation lands; the failed save is non-fatal (the sink logs
+		// and carries on), and the job itself then crashes.
+		fs := checkpoint.FS(checkpoint.OS{})
+		if attempt == 0 {
+			// Measure one clean save, then budget exactly enough ops for
+			// generation 1 to land and kill the disk early in generation 2.
+			cp, err := checkpoint.New(cfg, goldenFull)
+			if err != nil {
+				return err
+			}
+			probe := &opsCountFS{FS: checkpoint.OS{}}
+			ps, err := checkpoint.NewSaver(probe, filepath.Join(t.TempDir(), "probe.ckpt"), 3, nil)
+			if err != nil {
+				return err
+			}
+			if _, err := ps.Save(cp); err != nil {
+				return err
+			}
+			fs = checkpoint.NewFaultFS(checkpoint.OS{}, checkpoint.FSFaultPlan{Seed: 1, CrashAfterOps: probe.ops + 2})
+		}
+		saver, err := checkpoint.NewSaver(fs, base, 3, nil)
+		if err != nil {
+			return err
+		}
+		res, err := RunJob(MasterOptions{
+			Cfg: cfg, Resilient: true, Resume: resume,
+			CheckpointEvery: 1,
+			CheckpointSink: func(iter int, states []*core.FullState) error {
+				cp, err := checkpoint.New(cfg, states)
+				if err != nil {
+					return err
+				}
+				_, err = saver.Save(cp)
+				return err // master logs sink errors; they never kill the job
+			},
+		})
+		if err != nil {
+			return err
+		}
+		if attempt == 0 {
+			return crashed
+		}
+		finalFull, err = res.FullStates()
+		return err
+	})
+	if err != nil {
+		t.Fatalf("supervised recovery failed: %v", err)
+	}
+	clusterAssertSameFull(t, "supervised recovery vs uninterrupted", finalFull, goldenFull)
+
+	// The recovery really did go through disk: a valid checkpoint for the
+	// job exists and is at least at the resumed-from iteration.
+	cp, _, err := checkpoint.LoadLatest(checkpoint.OS{}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Iteration() < 1 {
+		t.Fatalf("no durable progress recorded: iteration %d", cp.Iteration())
+	}
+}

@@ -120,6 +120,9 @@ func runMasterResilient(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) 
 			Node: placements[s].Node, Core: placements[s].Core,
 			Resilient: true,
 		}
+		if opts.Resume != nil {
+			task.Full = opts.Resume[s-1].Marshal()
+		}
 		payload, err := task.marshal()
 		if err != nil {
 			return nil, err
@@ -160,6 +163,11 @@ func runMasterResilient(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) 
 	for c := 0; c < nCells; c++ {
 		track[c] = &cellTrack{owner: c + 1, fitness: inf()}
 	}
+	if opts.Resume != nil {
+		seedTrackFromResume(track, opts.Resume)
+		logf("master: resumed %d cells from iteration %d", nCells, track[0].iter)
+	}
+	ck := newMasterCkpt(opts, true, logf)
 
 	// Heartbeat thread: advisory in resilient mode — it records state
 	// transitions and logs unresponsive slaves, but never fails the job
@@ -355,8 +363,11 @@ func runMasterResilient(comm *mpi.Comm, opts MasterOptions) (*JobResult, error) 
 		}
 
 		// Round complete: decide whether training is over and publish the
-		// merged grid view.
+		// merged grid view. The completed round is a consistent cut — every
+		// live cell's gathered state sits at the same iteration — so this is
+		// where a periodic checkpoint is taken.
 		opts.Metrics.Rounds.Inc()
+		ck.observe(track)
 		abortNow := interrupted(opts.Interrupt) ||
 			(!jobDeadline.IsZero() && time.Now().After(jobDeadline))
 		done := true

@@ -260,6 +260,10 @@ func (s *slave) execute(task runTask) {
 		fail(err)
 		return
 	}
+	if err := restoreTaskFull(cell, task); err != nil {
+		fail(err)
+		return
+	}
 
 	// exchange allgathers centers on the LOCAL communicator with an
 	// abort-consensus byte: if any slave has seen the master's abort, all
@@ -305,7 +309,11 @@ func (s *slave) execute(task runTask) {
 		report.Aborted = true
 	}
 	var last core.IterStats
-	for iter := 0; iter < task.Cfg.Iterations && !report.Aborted; iter++ {
+	// The loop is driven by the cell's own iteration counter so a cell
+	// restored from a checkpoint runs exactly the iterations it still
+	// owes; every slave restores to the same iteration (the master
+	// validated that), keeping the allgather call counts aligned.
+	for cell.Iteration() < task.Cfg.Iterations && !report.Aborted {
 		last, err = cell.Iterate()
 		if err != nil {
 			fail(err)
@@ -335,8 +343,27 @@ func (s *slave) execute(task runTask) {
 	report.MixtureRanks = append([]int(nil), cell.Mixture().Ranks...)
 	report.MixtureWeights = append([]float64(nil), cell.Mixture().Weights...)
 	report.State = finalState.Marshal()
+	if f, err := cell.FullState(); err == nil {
+		report.Full = f.Marshal()
+	}
 	report.Profile = profile.EncodeSnapshot(prof.Snapshot())
 	s.report = report
+}
+
+// restoreTaskFull restores a dispatched cell from the run task's full
+// state, when the master sent one (the whole-job resume path).
+func restoreTaskFull(cell *core.Cell, task runTask) error {
+	if len(task.Full) == 0 {
+		return nil
+	}
+	f, err := core.UnmarshalFullState(task.Full)
+	if err != nil {
+		return fmt.Errorf("cluster: decoding dispatched resume state: %w", err)
+	}
+	if err := cell.RestoreFull(f); err != nil {
+		return fmt.Errorf("cluster: restoring dispatched resume state: %w", err)
+	}
+	return nil
 }
 
 // executeResilient is the execution thread in failure-tolerant mode: the
@@ -372,6 +399,10 @@ func (s *slave) executeResilient(task runTask) {
 	fitness := make(map[int]float64)
 	cell, err := core.NewCell(task.Cfg, task.CellRank, g, prof)
 	if err != nil {
+		finishErr(err)
+		return
+	}
+	if err := restoreTaskFull(cell, task); err != nil {
 		finishErr(err)
 		return
 	}

@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// SuperviseOptions tunes the restart loop of Supervise.
+type SuperviseOptions struct {
+	// MaxRestarts is how many restarts are allowed after the first
+	// attempt before the supervisor gives up; 0 defaults to 5.
+	MaxRestarts int
+	// InitialBackoff is the delay before the first restart; it doubles
+	// after every failure up to MaxBackoff. 0 defaults to 100 ms.
+	InitialBackoff time.Duration
+	// MaxBackoff caps the exponential backoff; 0 defaults to 5 s.
+	MaxBackoff time.Duration
+	// Logf, when non-nil, receives one line per restart decision.
+	Logf func(format string, args ...interface{})
+	// Sleep replaces time.Sleep between attempts; nil uses the real
+	// clock. Tests inject it to run the backoff schedule instantly.
+	Sleep func(time.Duration)
+}
+
+// Supervise runs a job function until it succeeds, restarting it with
+// exponential backoff after each failure — the master-side half of
+// whole-job recovery. The function receives the attempt index (0 for
+// the first run); restarted attempts are expected to resume from the
+// newest durable checkpoint generation rather than start over, which is
+// exactly what cmd/cluster -supervise does by re-launching itself with
+// -resume. Returns nil on the first success, or the last error once
+// MaxRestarts restarts are exhausted.
+func Supervise(opts SuperviseOptions, run func(attempt int) error) error {
+	if opts.MaxRestarts <= 0 {
+		opts.MaxRestarts = 5
+	}
+	if opts.InitialBackoff <= 0 {
+		opts.InitialBackoff = 100 * time.Millisecond
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 5 * time.Second
+	}
+	sleep := opts.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	backoff := opts.InitialBackoff
+	for attempt := 0; ; attempt++ {
+		err := run(attempt)
+		if err == nil {
+			return nil
+		}
+		if attempt >= opts.MaxRestarts {
+			return fmt.Errorf("cluster: supervised job failed after %d attempts: %w", attempt+1, err)
+		}
+		if opts.Logf != nil {
+			opts.Logf("supervisor: attempt %d failed (%v), restarting in %s", attempt, err, backoff)
+		}
+		sleep(backoff)
+		backoff *= 2
+		if backoff > opts.MaxBackoff {
+			backoff = opts.MaxBackoff
+		}
+	}
+}

@@ -65,14 +65,16 @@ func RunAsync(cfg config.Config, opts RunOptions) (*Result, error) {
 	defer world.Close()
 
 	inst := newRunInstruments(opts.Telemetry, opts.Trace, n)
+	board := newAsyncCkptBoard(opts, n)
 	results := make([]CellResult, n)
+	fulls := make([]*FullState, n)
 	errs := make(chan error, n)
 	var wg sync.WaitGroup
 	for rank := 0; rank < n; rank++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			errs <- asyncCellLoop(cfg, rank, g, world, prof, opts, inst, results)
+			errs <- asyncCellLoop(cfg, rank, g, world, prof, opts, inst, board, results, fulls)
 		}(rank)
 	}
 	wg.Wait()
@@ -82,14 +84,15 @@ func RunAsync(cfg config.Config, opts RunOptions) (*Result, error) {
 			return nil, err
 		}
 	}
-	res := &Result{Cfg: cfg, Cells: results}
+	res := &Result{Cfg: cfg, Cells: results, Full: fulls}
 	finishResult(res, prof, started)
 	return res, nil
 }
 
 // asyncCellLoop is one rank's life in the asynchronous mode.
 func asyncCellLoop(cfg config.Config, rank int, g *grid.Grid, world *mpi.World,
-	prof *profile.Profiler, opts RunOptions, inst *runInstruments, results []CellResult) error {
+	prof *profile.Profiler, opts RunOptions, inst *runInstruments,
+	board *asyncCkptBoard, results []CellResult, fulls []*FullState) error {
 	comm, err := world.Comm(rank)
 	if err != nil {
 		return err
@@ -100,6 +103,12 @@ func asyncCellLoop(cfg config.Config, rank int, g *grid.Grid, world *mpi.World,
 	hooks := opts.asyncHooks
 	cell, err := NewCellWithData(cfg, rank, g, prof, opts.Data)
 	if err != nil {
+		return err
+	}
+	// Async snapshots may mix iterations, so each cell resumes from its
+	// own recorded position; a cell already at the target just serves
+	// its state to neighbours and runs zero iterations.
+	if err := restoreIfResuming(cell, opts, g.Size()); err != nil {
 		return err
 	}
 	tracker := NewStalenessTracker(cfg.EffectiveAsyncStaleness())
@@ -188,7 +197,10 @@ func asyncCellLoop(cfg config.Config, rank int, g *grid.Grid, world *mpi.World,
 	}
 	var last IterStats
 	stopped := false
-	for iter := 0; iter < cfg.Iterations && !stopped; iter++ {
+	// The loop is driven by the cell's own iteration counter (not a
+	// fresh 0-based index) so a cell restored from a checkpoint runs
+	// exactly the iterations it still owes.
+	for !stopped && cell.Iteration() < cfg.Iterations {
 		// No barrier in this mode, so each rank honours the stop signal
 		// independently at its own iteration boundary.
 		if stopRequested(opts) {
@@ -202,7 +214,7 @@ func asyncCellLoop(cfg config.Config, rank int, g *grid.Grid, world *mpi.World,
 		// versions ahead of a neighbour's last absorbed snapshot. The
 		// least-advanced cell never satisfies the stale predicate, so the
 		// grid as a whole always makes progress.
-		for len(tracker.Stale(iter+1, gateOn)) > 0 {
+		for len(tracker.Stale(cell.Iteration()+1, gateOn)) > 0 {
 			if stopRequested(opts) {
 				stopped = true
 				break
@@ -227,11 +239,19 @@ func asyncCellLoop(cfg config.Config, rank int, g *grid.Grid, world *mpi.World,
 		if err := push(); err != nil {
 			return err
 		}
+		if err := board.deposit(cell); err != nil {
+			return err
+		}
 	}
 	state, err := cell.State()
 	if err != nil {
 		return err
 	}
+	full, err := cell.FullState()
+	if err != nil {
+		return err
+	}
+	fulls[rank] = full
 	results[rank] = CellResult{
 		Rank:           rank,
 		State:          state,

@@ -1,0 +1,152 @@
+package core
+
+import "sync"
+
+// Periodic checkpoint capture for the in-process runners. Two shapes:
+//
+//   - ckptCollector (seq, par): cells move in lockstep, so a snapshot at
+//     iteration k is assembled from every cell's FullState at the
+//     post-exchange boundary of k and handed to the sink only when all n
+//     cells have deposited — a consistent cut by construction.
+//   - asyncCkptBoard (async): no boundary is shared, so the board keeps
+//     the newest FullState per cell and emits a best-effort snapshot
+//     whenever the slowest cell has advanced a full cadence.
+
+// ckptCollector assembles lockstep snapshots.
+type ckptCollector struct {
+	every int
+	sink  func(int, []*FullState) error
+	n     int
+
+	mu      sync.Mutex
+	pending map[int][]*FullState
+	counts  map[int]int
+	failed  error
+}
+
+// newCkptCollector returns nil when no cadence is configured.
+func newCkptCollector(opts RunOptions, n int) *ckptCollector {
+	if opts.CheckpointEvery <= 0 || opts.CheckpointSink == nil {
+		return nil
+	}
+	return &ckptCollector{
+		every:   opts.CheckpointEvery,
+		sink:    opts.CheckpointSink,
+		n:       n,
+		pending: make(map[int][]*FullState),
+		counts:  make(map[int]int),
+	}
+}
+
+// deposit records cell's state if it sits on a cadence boundary; the
+// depositing goroutine that completes a snapshot runs the sink. Safe on
+// a nil collector.
+func (c *ckptCollector) deposit(cell *Cell) error {
+	if c == nil {
+		return nil
+	}
+	iter := cell.Iteration()
+	if iter == 0 || iter%c.every != 0 {
+		return nil
+	}
+	full, err := cell.FullState()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed != nil {
+		// A failed sink already doomed the run; don't assemble more.
+		return c.failed
+	}
+	states := c.pending[iter]
+	if states == nil {
+		states = make([]*FullState, c.n)
+		c.pending[iter] = states
+	}
+	if states[cell.Rank] == nil {
+		c.counts[iter]++
+	}
+	states[cell.Rank] = full
+	if c.counts[iter] < c.n {
+		return nil
+	}
+	delete(c.pending, iter)
+	delete(c.counts, iter)
+	// The sink runs under the lock: lockstep modes have at most one
+	// snapshot in flight, and serialising keeps sink calls in iteration
+	// order by construction.
+	if err := c.sink(iter, states); err != nil {
+		c.failed = err
+		return err
+	}
+	return nil
+}
+
+// asyncCkptBoard assembles newest-wins snapshots from free-running cells.
+type asyncCkptBoard struct {
+	every int
+	sink  func(int, []*FullState) error
+
+	mu       sync.Mutex
+	latest   []*FullState
+	lastSunk int
+	failed   error
+}
+
+// newAsyncCkptBoard returns nil when no cadence is configured.
+func newAsyncCkptBoard(opts RunOptions, n int) *asyncCkptBoard {
+	if opts.CheckpointEvery <= 0 || opts.CheckpointSink == nil {
+		return nil
+	}
+	return &asyncCkptBoard{
+		every:  opts.CheckpointEvery,
+		sink:   opts.CheckpointSink,
+		latest: make([]*FullState, n),
+	}
+}
+
+// deposit records cell's state at its own cadence boundaries and emits a
+// snapshot once every cell has one and the slowest has crossed the next
+// cadence since the last emission. Per-cell iterations in successive
+// snapshots are monotonic because entries are only ever replaced by the
+// same cell's later state. Safe on a nil board.
+func (b *asyncCkptBoard) deposit(cell *Cell) error {
+	if b == nil {
+		return nil
+	}
+	iter := cell.Iteration()
+	if iter == 0 || iter%b.every != 0 {
+		return nil
+	}
+	full, err := cell.FullState()
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failed != nil {
+		return b.failed
+	}
+	b.latest[cell.Rank] = full
+	min := -1
+	for _, st := range b.latest {
+		if st == nil {
+			return nil
+		}
+		if min < 0 || st.Cell.Iteration < min {
+			min = st.Cell.Iteration
+		}
+	}
+	if min < b.lastSunk+b.every {
+		return nil
+	}
+	b.lastSunk = min
+	snap := make([]*FullState, len(b.latest))
+	copy(snap, b.latest)
+	if err := b.sink(min, snap); err != nil {
+		b.failed = err
+		return err
+	}
+	return nil
+}

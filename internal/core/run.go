@@ -42,6 +42,22 @@ type RunOptions struct {
 	// parallel mode the decision is reached by consensus: a stop vote is
 	// carried on the allgather, so every rank halts at the same boundary.
 	Stop func() bool
+	// CheckpointEvery, with CheckpointSink set, captures a complete
+	// resumable snapshot of the grid at every iteration k that is a
+	// multiple of the cadence. In the sequential and parallel modes the
+	// snapshot is taken at the post-exchange boundary where every cell
+	// is exactly at iteration k, so resuming from it is bit-identical
+	// to never having stopped. In the asynchronous mode cells cross
+	// boundaries at their own pace; the sink receives best-effort
+	// newest-wins snapshots (one full state per cell, iterations may
+	// differ) keyed by the minimum iteration present.
+	CheckpointEvery int
+	// CheckpointSink receives the periodic snapshots, in iteration
+	// order, from at most one goroutine at a time. A sink error is
+	// fatal to the run; a caller that prefers to keep training through
+	// failed checkpoint writes (ENOSPC should not kill a 96-hour job)
+	// should log/count the failure and return nil.
+	CheckpointSink func(iteration int, states []*FullState) error
 
 	// commWrap, when non-nil, wraps each rank's communicator before the
 	// asynchronous exchange loop uses it — the test seam for injecting
@@ -64,11 +80,28 @@ func restoreIfResuming(cell *Cell, opts RunOptions, nCells int) error {
 	if st == nil {
 		return fmt.Errorf("core: resume state for cell %d is nil", cell.Rank)
 	}
-	if st.Cell.Iteration >= cell.Cfg.Iterations {
+	// A cell already at the target (possible in an async snapshot whose
+	// laggard cells still owe work) restores and simply runs zero
+	// iterations; only a state beyond the target is a caller error.
+	if st.Cell.Iteration > cell.Cfg.Iterations {
 		return fmt.Errorf("core: checkpoint already at iteration %d, config targets %d",
 			st.Cell.Iteration, cell.Cfg.Iterations)
 	}
 	return cell.RestoreFull(st)
+}
+
+// uniformResumeIteration rejects resume sets whose cells disagree on the
+// iteration: the lockstep modes (seq, par) assume the whole grid is at
+// one boundary. Async snapshots may mix iterations and must be resumed
+// in async mode.
+func uniformResumeIteration(states []*FullState) error {
+	for _, st := range states[1:] {
+		if st != nil && states[0] != nil && st.Cell.Iteration != states[0].Cell.Iteration {
+			return fmt.Errorf("core: resume states mix iterations %d and %d (an async snapshot?); only mode \"async\" accepts that",
+				states[0].Cell.Iteration, st.Cell.Iteration)
+		}
+	}
+	return nil
 }
 
 // CellResult is the outcome of one cell after training.
@@ -202,6 +235,11 @@ func RunSequential(cfg config.Config, opts RunOptions) (*Result, error) {
 	if prof == nil {
 		prof = profile.New()
 	}
+	if opts.Resume != nil {
+		if err := uniformResumeIteration(opts.Resume); err != nil {
+			return nil, err
+		}
+	}
 	started := time.Now()
 	g, err := buildGrid(cfg)
 	if err != nil {
@@ -218,6 +256,7 @@ func RunSequential(cfg config.Config, opts RunOptions) (*Result, error) {
 		}
 		cells[r] = cell
 	}
+	coll := newCkptCollector(opts, g.Size())
 	inst := newRunInstruments(opts.Telemetry, opts.Trace, g.Size())
 	exchange := func() error {
 		t0 := time.Now()
@@ -247,6 +286,13 @@ func RunSequential(cfg config.Config, opts RunOptions) (*Result, error) {
 		}
 		if err := exchange(); err != nil {
 			return nil, err
+		}
+		// Post-exchange boundary: every cell is at the same iteration,
+		// the consistent cut a periodic checkpoint needs.
+		for _, c := range cells {
+			if err := coll.deposit(c); err != nil {
+				return nil, err
+			}
 		}
 	}
 	res := &Result{Cfg: cfg, Cells: make([]CellResult, len(cells)), Full: make([]*FullState, len(cells))}
@@ -285,6 +331,11 @@ func RunParallel(cfg config.Config, opts RunOptions) (*Result, error) {
 	if prof == nil {
 		prof = profile.New()
 	}
+	if opts.Resume != nil {
+		if err := uniformResumeIteration(opts.Resume); err != nil {
+			return nil, err
+		}
+	}
 	started := time.Now()
 	g, err := buildGrid(cfg)
 	if err != nil {
@@ -297,6 +348,7 @@ func RunParallel(cfg config.Config, opts RunOptions) (*Result, error) {
 	}
 	defer world.Close()
 
+	coll := newCkptCollector(opts, n)
 	inst := newRunInstruments(opts.Telemetry, opts.Trace, n)
 	results := make([]CellResult, n)
 	fulls := make([]*FullState, n)
@@ -377,6 +429,12 @@ func RunParallel(cfg config.Config, opts RunOptions) (*Result, error) {
 					}
 					halt, err = exchange()
 					if err != nil {
+						return err
+					}
+					// The allgather above is a barrier: every rank is at
+					// this iteration, so the deposits assemble a
+					// consistent snapshot.
+					if err := coll.deposit(cell); err != nil {
 						return err
 					}
 				}

@@ -30,6 +30,9 @@ type DeployOptions struct {
 	ConfirmTimeout time.Duration
 	// PushTimeout bounds the /v1/reload POST itself (default 30 s).
 	PushTimeout time.Duration
+	// Logf, when non-nil, receives deployer diagnostics (e.g. a torn
+	// artifact being skipped).
+	Logf func(format string, args ...interface{})
 }
 
 func (o DeployOptions) withDefaults() DeployOptions {
@@ -61,6 +64,7 @@ type Deployer struct {
 
 	mu      sync.Mutex
 	applied map[int]string // replica index → last confirmed artifact hash
+	lastBad string         // hash of the last undecodable artifact content logged
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -123,11 +127,22 @@ func (d *Deployer) CheckOnce(ctx context.Context) (updated int, err error) {
 	}
 	// Refuse to push bytes that do not decode — a torn write (the
 	// exporter writes temp+rename, but guard anyway) must not take down
-	// the fleet's reload path.
-	if _, decErr := checkpoint.ReadMixture(bytes.NewReader(data)); decErr != nil {
-		return 0, fmt.Errorf("gateway: artifact %s does not decode: %w", d.opts.Path, decErr)
-	}
+	// the fleet's reload path. The bad file is skipped, not fatal: the
+	// exporter's next rewrite replaces it and the next poll picks it up.
+	// Logged once per distinct bad content so a stuck torn file does not
+	// emit a line every tick.
 	hash := checkpoint.HashMixtureBytes(data)
+	if _, decErr := checkpoint.ReadMixture(bytes.NewReader(data)); decErr != nil {
+		d.metrics.badArtifacts.Inc()
+		d.mu.Lock()
+		firstSighting := d.lastBad != hash
+		d.lastBad = hash
+		d.mu.Unlock()
+		if firstSighting && d.opts.Logf != nil {
+			d.opts.Logf("deployer: artifact %s does not decode, skipping until rewritten: %v", d.opts.Path, decErr)
+		}
+		return 0, nil
+	}
 
 	for _, rep := range d.table.Replicas() {
 		if d.appliedHash(rep.index) == hash {

@@ -1,10 +1,13 @@
 package gateway
 
 import (
+	"bytes"
 	"context"
 	"net/http"
+	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -128,6 +131,71 @@ func TestDeployerCatchesUpDownReplica(t *testing.T) {
 	sts := reps[1].Registry().Statuses()
 	if len(sts) != 1 || sts[0].Hash != wantHash {
 		t.Fatalf("revived replica hash = %+v, want %s", sts, wantHash)
+	}
+}
+
+// TestDeployerSkipsTornArtifact: an undecodable (torn) artifact on disk
+// must never reach a replica and must not kill the watch loop — the
+// deployer counts it, logs it once per distinct bad content, and picks
+// up the valid rewrite on a later check.
+func TestDeployerSkipsTornArtifact(t *testing.T) {
+	reps := startReplicas(t, 2)
+	g, ts := newTestGateway(t, reps, Options{})
+	variant := deployVariant(t)
+	wantHash := artifactHash(t, variant)
+
+	path := filepath.Join(t.TempDir(), "mixture.bin")
+	var buf bytes.Buffer
+	if err := checkpoint.WriteMixture(&buf, variant); err != nil {
+		t.Fatalf("WriteMixture: %v", err)
+	}
+	torn := buf.Bytes()[:buf.Len()-7]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatalf("writing torn artifact: %v", err)
+	}
+
+	var logLines atomic.Int64
+	d, err := NewDeployer(DeployOptions{
+		Path:           path,
+		Model:          "digits",
+		ConfirmTimeout: 5 * time.Second,
+		Logf:           func(string, ...interface{}) { logLines.Add(1) },
+	}, g.Table(), g.Metrics())
+	if err != nil {
+		t.Fatalf("NewDeployer: %v", err)
+	}
+
+	// Three polls over the same torn content: skipped without error every
+	// time, counted every time, logged once.
+	for i := 0; i < 3; i++ {
+		if n, err := d.CheckOnce(context.Background()); n != 0 || err != nil {
+			t.Fatalf("CheckOnce %d on torn artifact = (%d, %v), want (0, nil)", i, n, err)
+		}
+	}
+	if got := metricValue(t, scrapeMetrics(t, ts.URL), "gateway_bad_artifacts_total"); got != 3 {
+		t.Fatalf("gateway_bad_artifacts_total = %g, want 3", got)
+	}
+	if got := logLines.Load(); got != 1 {
+		t.Fatalf("torn artifact logged %d times, want once per distinct content", got)
+	}
+	for i, rep := range reps {
+		for _, st := range rep.Registry().Statuses() {
+			if st.Hash == wantHash {
+				t.Fatalf("replica %d received the variant hash from a torn artifact", i)
+			}
+		}
+	}
+
+	// A valid rewrite recovers on the next poll, no restart needed.
+	if err := checkpoint.SaveMixtureFile(path, variant); err != nil {
+		t.Fatalf("SaveMixtureFile: %v", err)
+	}
+	if n, err := d.CheckOnce(context.Background()); n != len(reps) || err != nil {
+		t.Fatalf("CheckOnce after rewrite = (%d, %v), want (%d, nil)", n, err, len(reps))
+	}
+	sts := reps[0].Registry().Statuses()
+	if len(sts) != 1 || sts[0].Hash != wantHash {
+		t.Fatalf("post-recovery replica hash = %+v, want %s", sts, wantHash)
 	}
 }
 

@@ -19,13 +19,14 @@ var routeLatencyBuckets = telemetry.ExponentialBuckets(1e-4, 2, 21)
 type Metrics struct {
 	reg *telemetry.Registry
 
-	requests    *telemetry.Counter // client requests accepted for routing
-	errors      *telemetry.Counter // client-visible failures (all routes exhausted)
-	retries     *telemetry.Counter // extra attempts after a retryable failure
-	hedges      *telemetry.Counter // speculative second requests launched
-	hedgeWin    *telemetry.Counter // hedged requests where the hedge answered first
-	reloads     *telemetry.Counter // successful replica artifact reloads
-	reloadFails *telemetry.Counter
+	requests     *telemetry.Counter // client requests accepted for routing
+	errors       *telemetry.Counter // client-visible failures (all routes exhausted)
+	retries      *telemetry.Counter // extra attempts after a retryable failure
+	hedges       *telemetry.Counter // speculative second requests launched
+	hedgeWin     *telemetry.Counter // hedged requests where the hedge answered first
+	reloads      *telemetry.Counter // successful replica artifact reloads
+	reloadFails  *telemetry.Counter
+	badArtifacts *telemetry.Counter // watched artifacts that failed to decode
 
 	latency *telemetry.Histogram
 
@@ -40,15 +41,16 @@ type Metrics struct {
 func NewMetrics(n int) *Metrics {
 	reg := telemetry.NewRegistry()
 	m := &Metrics{
-		reg:         reg,
-		requests:    reg.Counter("gateway_requests_total", "Client generate requests accepted for routing."),
-		errors:      reg.Counter("gateway_request_errors_total", "Client requests that failed after all routes were exhausted."),
-		retries:     reg.Counter("gateway_retries_total", "Retry attempts after retryable replica failures."),
-		hedges:      reg.Counter("gateway_hedges_total", "Speculative hedge requests launched against a second replica."),
-		hedgeWin:    reg.Counter("gateway_hedge_wins_total", "Hedged requests won by the hedge replica."),
-		reloads:     reg.Counter("gateway_reloads_total", "Artifact hot-reloads confirmed healthy on a replica."),
-		reloadFails: reg.Counter("gateway_reload_failures_total", "Artifact hot-reload pushes that failed or never confirmed."),
-		latency:     reg.Histogram("gateway_route_latency_seconds", "Client-observed latency of routed generate requests.", routeLatencyBuckets),
+		reg:          reg,
+		requests:     reg.Counter("gateway_requests_total", "Client generate requests accepted for routing."),
+		errors:       reg.Counter("gateway_request_errors_total", "Client requests that failed after all routes were exhausted."),
+		retries:      reg.Counter("gateway_retries_total", "Retry attempts after retryable replica failures."),
+		hedges:       reg.Counter("gateway_hedges_total", "Speculative hedge requests launched against a second replica."),
+		hedgeWin:     reg.Counter("gateway_hedge_wins_total", "Hedged requests won by the hedge replica."),
+		reloads:      reg.Counter("gateway_reloads_total", "Artifact hot-reloads confirmed healthy on a replica."),
+		reloadFails:  reg.Counter("gateway_reload_failures_total", "Artifact hot-reload pushes that failed or never confirmed."),
+		badArtifacts: reg.Counter("gateway_bad_artifacts_total", "Watched artifact reads that failed to decode (torn or corrupt file skipped)."),
+		latency:      reg.Histogram("gateway_route_latency_seconds", "Client-observed latency of routed generate requests.", routeLatencyBuckets),
 	}
 	m.forwards = make([]*telemetry.Counter, n)
 	m.forwardErrs = make([]*telemetry.Counter, n)

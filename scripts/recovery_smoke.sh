@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Crash-recovery e2e smoke: a supervised 5-rank TCP cluster job is
+# SIGKILLed mid-run (every worker process at once — a whole-node power
+# cut), the per-rank supervisors restart the mesh, the master resumes
+# from the newest durable checkpoint generation, and the final
+# checkpoint must come out byte-identical to an uninterrupted run.
+#
+# This is the multi-process half of the recovery acceptance; the
+# in-process halves (crash-point sweeps, bit-exact resume of every mode)
+# live in internal/checkpoint and internal/cluster tests.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+BIN="$WORK/cluster-smoke"
+cleanup() {
+  pkill -9 -f "$BIN" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "=== building cmd/cluster ==="
+go build -o "$BIN" ./cmd/cluster
+
+# Small 2x2 resilient job: 5 ranks, tiny net, fixed seed.
+PORT=$(( 21000 + $$ % 9000 ))
+mkaddrs() {
+  local base i out
+  base=$1
+  out="127.0.0.1:$base"
+  for i in 1 2 3 4; do out="$out,127.0.0.1:$((base + i))"; done
+  echo "$out"
+}
+COMMON=(-grid 2 -resilient -iterations 5 -dataset 300 -batches 2 -batch 32
+        -hidden 16 -latent 8 -seed 7)
+
+echo "=== golden run (uninterrupted) ==="
+pids=()
+for r in 1 2 3 4; do
+  "$BIN" -rank "$r" -addrs "$(mkaddrs "$PORT")" "${COMMON[@]}" >/dev/null 2>&1 &
+  pids+=($!)
+done
+"$BIN" -rank 0 -addrs "$(mkaddrs "$PORT")" "${COMMON[@]}" \
+  -checkpoint "$WORK/golden.ckpt" >/dev/null &
+pids+=($!)
+for p in "${pids[@]}"; do wait "$p"; done
+[ -f "$WORK/golden.ckpt" ] || { echo "FAIL: golden checkpoint missing"; exit 1; }
+
+echo "=== supervised run, SIGKILL all workers mid-job ==="
+PORT2=$((PORT + 10))
+sup=()
+for r in 1 2 3 4; do
+  "$BIN" -rank "$r" -addrs "$(mkaddrs "$PORT2")" "${COMMON[@]}" \
+    -supervise >/dev/null 2>&1 &
+  sup+=($!)
+done
+"$BIN" -rank 0 -addrs "$(mkaddrs "$PORT2")" "${COMMON[@]}" \
+  -checkpoint "$WORK/run.ckpt" -checkpoint-every 1 -checkpoint-keep 4 \
+  -supervise >"$WORK/master.log" 2>&1 &
+sup+=($!)
+
+# Wait for the first durable generation, then pull the plug.
+for _ in $(seq 1 1200); do
+  [ -f "$WORK/run.ckpt.1" ] && break
+  sleep 0.1
+done
+[ -f "$WORK/run.ckpt.1" ] || { echo "FAIL: no checkpoint generation appeared"; cat "$WORK/master.log"; exit 1; }
+
+# Every cluster process whose command line lacks -supervise is a worker
+# (the supervisors' children). Kill them all, un-gracefully.
+killed=0
+for pid in $(pgrep -f "$BIN" || true); do
+  if ! tr '\0' ' ' <"/proc/$pid/cmdline" 2>/dev/null | grep -q -- -supervise; then
+    kill -9 "$pid" 2>/dev/null && killed=$((killed + 1)) || true
+  fi
+done
+echo "killed $killed worker processes"
+if [ "$killed" -eq 0 ]; then
+  echo "WARN: job finished before the kill landed; recovery path not exercised"
+fi
+
+# The supervisors restart their ranks; the master's replacement resumes
+# from the newest valid generation and the job runs to completion.
+for p in "${sup[@]}"; do wait "$p"; done
+[ -f "$WORK/run.ckpt" ] || { echo "FAIL: final checkpoint missing"; cat "$WORK/master.log"; exit 1; }
+
+if [ "$killed" -gt 0 ] && ! grep -q "resuming from" "$WORK/master.log"; then
+  echo "FAIL: master log never mentions resuming"
+  cat "$WORK/master.log"
+  exit 1
+fi
+
+echo "=== comparing final checkpoints ==="
+if cmp "$WORK/golden.ckpt" "$WORK/run.ckpt"; then
+  echo "PASS: recovered run is byte-identical to the uninterrupted run"
+else
+  echo "FAIL: recovered checkpoint differs from golden"
+  exit 1
+fi
