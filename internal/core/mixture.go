@@ -80,6 +80,8 @@ type SampleWorkspace struct {
 
 	assign, counts, starts, idx, order []int
 	proposal                           []float64
+
+	z32 *tensor.Mat32 // float32 latent staging (Mixture32 path only)
 }
 
 // NewSampleWorkspace returns an empty workspace; buffers grow on first use.
@@ -134,40 +136,7 @@ func (m *Mixture) SampleWith(ws *SampleWorkspace, n, latentDim int, rng *tensor.
 	if n <= 0 {
 		return out
 	}
-	// Assign each sample to a component.
-	assign := intsFor(&ws.assign, n)
-	counts := intsFor(&ws.counts, len(m.Generators))
-	for j := range counts {
-		counts[j] = 0
-	}
-	for i := range assign {
-		u := rng.Float64()
-		acc := 0.0
-		comp := len(m.Weights) - 1
-		for j, w := range m.Weights {
-			acc += w
-			if u < acc {
-				comp = j
-				break
-			}
-		}
-		assign[i] = comp
-		counts[comp]++
-	}
-	// Generate per component in one batch each.
-	offset := 0
-	starts := intsFor(&ws.starts, len(m.Generators))
-	for j := range starts {
-		starts[j] = offset
-		offset += counts[j]
-	}
-	order := intsFor(&ws.order, n) // output row for each grouped sample
-	idx := intsFor(&ws.idx, len(m.Generators))
-	copy(idx, starts)
-	for i, comp := range assign {
-		order[idx[comp]] = i
-		idx[comp]++
-	}
+	counts, starts, order := routeSamples(ws, m.Weights, n, rng)
 	for j, g := range m.Generators {
 		if counts[j] == 0 {
 			continue
@@ -180,6 +149,48 @@ func (m *Mixture) SampleWith(ws *SampleWorkspace, n, latentDim int, rng *tensor.
 		}
 	}
 	return out
+}
+
+// routeSamples assigns each of n samples to a component by weight (one
+// rng.Float64 per sample, in order) and computes the grouped layout:
+// counts[j] samples for component j, packed starting at starts[j], with
+// order[starts[j]+k] giving the output row of the k-th grouped sample.
+// Shared by the float64 and float32 sampling paths so both consume the
+// RNG stream identically. All slices alias ws buffers.
+func routeSamples(ws *SampleWorkspace, weights []float64, n int, rng *tensor.RNG) (counts, starts, order []int) {
+	assign := intsFor(&ws.assign, n)
+	counts = intsFor(&ws.counts, len(weights))
+	for j := range counts {
+		counts[j] = 0
+	}
+	for i := range assign {
+		u := rng.Float64()
+		acc := 0.0
+		comp := len(weights) - 1
+		for j, w := range weights {
+			acc += w
+			if u < acc {
+				comp = j
+				break
+			}
+		}
+		assign[i] = comp
+		counts[comp]++
+	}
+	offset := 0
+	starts = intsFor(&ws.starts, len(weights))
+	for j := range starts {
+		starts[j] = offset
+		offset += counts[j]
+	}
+	order = intsFor(&ws.order, n) // output row for each grouped sample
+	idx := intsFor(&ws.idx, len(weights))
+	copy(idx, starts)
+	for i, comp := range assign {
+		order[idx[comp]] = i
+		idx[comp]++
+	}
+	return counts, starts, order
 }
 
 func (m *Mixture) outputDim() int { return m.Generators[0].OutputWidth() }

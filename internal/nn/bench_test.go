@@ -67,6 +67,24 @@ func BenchmarkGeneratorForwardBackwardWS(b *testing.B) {
 	}
 }
 
+// BenchmarkGeneratorForward32 is the float32 serving-tier counterpart of
+// BenchmarkGeneratorForwardWS: the same Table I generator compiled with
+// CompileNet32, batch 100.
+func BenchmarkGeneratorForward32(b *testing.B) {
+	net, z := paperGenerator(b)
+	c, err := CompileNet32(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	z32 := tensor.Narrow(z)
+	c.Forward(z32) // warm buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Forward(z32)
+	}
+}
+
 func BenchmarkAdamStepPaperGenerator(b *testing.B) {
 	net, z := paperGenerator(b)
 	opt := NewAdam(2e-4)

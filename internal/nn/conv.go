@@ -11,9 +11,9 @@ import (
 //   - The plain Forward/Backward protocol uses direct loops. These are the
 //     fallback and the parity oracle: their floating-point operation
 //     sequence per output element mirrors the im2col kernel path exactly
-//     (same accumulation order, same zero-operand skips, padded taps
-//     contributing exact-zero products, bias added last), so both regimes
-//     produce bit-identical results.
+//     (same accumulation order, no zero-operand skips so non-finite values
+//     propagate, padded taps contributing exact-zero products, bias added
+//     last), so both regimes produce bit-identical results.
 //   - ForwardScratch/BackwardScratch (the ScratchLayer protocol used by
 //     Network.ForwardWS/BackwardWS) lower the convolution onto the
 //     ParallelFor-backed matmul kernels via tensor.Im2ColInto/Col2ImInto,
@@ -150,7 +150,8 @@ func (c *Conv2D) Backward(grad *tensor.Mat) *tensor.Mat {
 		}
 	}
 	// dW: AddMatMulT1Into order — (sample, position) rows outermost,
-	// zero gradients skipped, padded taps contributing exact-zero products.
+	// padded taps contributing exact-zero products. Zero gradients are NOT
+	// skipped: the kernels propagate 0·NaN = NaN, and the oracle must too.
 	for b := 0; b < grad.Rows; b++ {
 		in := c.x.Row(b)
 		g := grad.Row(b)
@@ -158,9 +159,6 @@ func (c *Conv2D) Backward(grad *tensor.Mat) *tensor.Mat {
 			for ox := 0; ox < outW; ox++ {
 				for oc := 0; oc < c.OutC; oc++ {
 					gv := g[oc*pos+oy*outW+ox]
-					if gv == 0 {
-						continue
-					}
 					dw := c.dW.Row(oc)
 					j := 0
 					for ic := 0; ic < c.InC; ic++ {
@@ -182,8 +180,9 @@ func (c *Conv2D) Backward(grad *tensor.Mat) *tensor.Mat {
 		}
 	}
 	// dIn: per-(position, tap) partial sums over output channels in
-	// MatMulInto order (zero gradients skipped), scatter-added in
-	// Col2ImInto's (position, tap) order with out-of-bounds taps dropped.
+	// MatMulInto order (zero gradients included, matching the kernel's
+	// NaN propagation), scatter-added in Col2ImInto's (position, tap)
+	// order with out-of-bounds taps dropped.
 	dx := tensor.New(c.x.Rows, c.x.Cols)
 	tensor.ParallelFor(c.x.Rows, 1, func(lo, hi int) {
 		for b := lo; b < hi; b++ {
@@ -200,11 +199,7 @@ func (c *Conv2D) Backward(grad *tensor.Mat) *tensor.Mat {
 								if iy >= 0 && iy < c.InH && ix >= 0 && ix < c.InW {
 									s := 0.0
 									for oc := 0; oc < c.OutC; oc++ {
-										gv := g[oc*pos+oy*outW+ox]
-										if gv == 0 {
-											continue
-										}
-										s += gv * c.W.Row(oc)[j]
+										s += g[oc*pos+oy*outW+ox] * c.W.Row(oc)[j]
 									}
 									dIn[c.inIndex(ic, iy, ix)] += s
 								}
@@ -375,8 +370,9 @@ func addChannelSums(dB []float64, grad *tensor.Mat, channels, pos int) {
 // Forward scatters each input activation through the kernel into the
 // upsampled, bias-seeded output — the parity oracle for ForwardScratch.
 // Per scatter target the contributions accumulate over input channels
-// (zero activations skipped, matching the matmul kernel), and targets are
-// visited in (input position, tap) order, matching AddCol2ImInto.
+// (zero activations included, matching the matmul kernel's non-finite
+// propagation), and targets are visited in (input position, tap) order,
+// matching AddCol2ImInto.
 func (t *ConvTranspose2D) Forward(x *tensor.Mat) *tensor.Mat {
 	if x.Cols != t.InC*t.InH*t.InW {
 		panic(fmt.Sprintf("nn: ConvTranspose2D input width %d, want %d", x.Cols, t.InC*t.InH*t.InW))
@@ -409,11 +405,7 @@ func (t *ConvTranspose2D) Forward(x *tensor.Mat) *tensor.Mat {
 								if oy >= 0 && oy < outH && ox >= 0 && ox < outW {
 									s := 0.0
 									for ic := 0; ic < t.InC; ic++ {
-										v := in[ic*inPos+iy*t.InW+ix]
-										if v == 0 {
-											continue
-										}
-										s += v * t.W.Row(ic)[j]
+										s += in[ic*inPos+iy*t.InW+ix] * t.W.Row(ic)[j]
 									}
 									dst[(oc*outH+oy)*outW+ox] += s
 								}
@@ -440,8 +432,8 @@ func (t *ConvTranspose2D) Backward(grad *tensor.Mat) *tensor.Mat {
 	inPos := t.InH * t.InW
 	addChannelSums(t.dB.Data, grad, t.OutC, outPos)
 	// dW: AddMatMulT1Into order — (sample, input position) rows outermost,
-	// zero activations skipped, out-of-bounds taps contributing exact-zero
-	// gradient operands.
+	// out-of-bounds taps contributing exact-zero gradient operands. Zero
+	// activations are NOT skipped: 0·NaN must stay NaN, as in the kernels.
 	for b := 0; b < grad.Rows; b++ {
 		in := t.x.Row(b)
 		g := grad.Row(b)
@@ -449,9 +441,6 @@ func (t *ConvTranspose2D) Backward(grad *tensor.Mat) *tensor.Mat {
 			for ix := 0; ix < t.InW; ix++ {
 				for ic := 0; ic < t.InC; ic++ {
 					v := in[ic*inPos+iy*t.InW+ix]
-					if v == 0 {
-						continue
-					}
 					dw := t.dW.Row(ic)
 					j := 0
 					for oc := 0; oc < t.OutC; oc++ {

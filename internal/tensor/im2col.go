@@ -75,16 +75,19 @@ func im2colRange(dst, img *Mat, g convGeom, lo, hi int) {
 	}
 }
 
-// col2imRange scatter-adds patch rows of cols back into samples [lo, hi)
+// col2imKernel scatter-adds patch rows of cols back into samples [lo, hi)
 // of dst, in (position, column) order per sample, dropping out-of-bounds
-// taps.
-func col2imRange(dst, cols *Mat, g convGeom, lo, hi int) {
+// taps. Generic core shared by the float64 path and the float32 serving
+// tier (AddCol2ImInto32); imgCols and fan are the row widths of dst and
+// cols respectively.
+func col2imKernel[F Float](dst, cols []F, imgCols, fan int, g convGeom, lo, hi int) {
 	pos := g.posH * g.posW
 	for bi := lo; bi < hi; bi++ {
-		out := dst.Row(bi)
+		out := dst[bi*imgCols : (bi+1)*imgCols]
 		for py := 0; py < g.posH; py++ {
 			for px := 0; px < g.posW; px++ {
-				row := cols.Row(bi*pos + py*g.posW + px)
+				r := bi*pos + py*g.posW + px
+				row := cols[r*fan : (r+1)*fan]
 				i := 0
 				for ch := 0; ch < g.c; ch++ {
 					chBase := ch * g.h * g.w
@@ -107,6 +110,11 @@ func col2imRange(dst, cols *Mat, g convGeom, lo, hi int) {
 			}
 		}
 	}
+}
+
+// col2imRange is col2imKernel over float64 matrices.
+func col2imRange(dst, cols *Mat, g convGeom, lo, hi int) {
+	col2imKernel(dst.Data, cols.Data, dst.Cols, cols.Cols, g, lo, hi)
 }
 
 // Pooled dispatch headers (see matmul.go): parallel gather/scatter without

@@ -1,0 +1,164 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// The float32 tier shares the generic kernel cores with float64, so the
+// structural edge cases are covered by the float64 bit-exactness sweep;
+// here we bound the float32-vs-float64 error and exercise the float32
+// plumbing (conversions, aliasing checks, the col2im scatter).
+
+// f32Tolerance bounds the relative error of a float32 reduction of k
+// terms against the float64 result: each of the ~k rounding steps
+// contributes at most half a ulp (2⁻²⁴).
+func f32Tolerance(k int) float64 {
+	return float64(k+4) * math.Exp2(-24)
+}
+
+func wideMat(m *Mat32) *Mat { return m.WidenInto(new(Mat)) }
+
+func TestMatMulInto32MatchesFloat64(t *testing.T) {
+	rng := NewRNG(21)
+	shapes := [][3]int{{1, 1, 1}, {3, 5, 2}, {2, 63, 7}, {4, 64, 4}, {5, 65, 3}, {33, 17, 29}, {64, 64, 64}, {130, 64, 96}}
+	for _, sz := range shapes {
+		m, k, n := sz[0], sz[1], sz[2]
+		a := randMat(m, k, rng)
+		b := randMat(k, n, rng)
+		a32, b32 := Narrow(a), Narrow(b)
+		got := wideMat(MatMulInto32(New32(0, 0), a32, b32))
+		// Compare against the product of the narrowed operands in float64,
+		// so only the accumulation precision differs.
+		want := naiveMul(wideMat(a32), wideMat(b32))
+		tol := f32Tolerance(k)
+		for i := range got.Data {
+			ref := want.Data[i]
+			if math.Abs(got.Data[i]-ref) > tol*(1+math.Abs(ref))*float64(k) {
+				t.Fatalf("MatMulInto32 at %v element %d: got %g want %g", sz, i, got.Data[i], ref)
+			}
+		}
+	}
+}
+
+func TestMatMulT2Into32MatchesFloat64(t *testing.T) {
+	rng := NewRNG(22)
+	shapes := [][3]int{{1, 1, 1}, {3, 5, 2}, {2, 63, 7}, {4, 64, 5}, {9, 65, 3}, {31, 33, 29}}
+	for _, sz := range shapes {
+		m, k, n := sz[0], sz[1], sz[2]
+		a := randMat(m, k, rng)
+		b := randMat(n, k, rng)
+		a32, b32 := Narrow(a), Narrow(b)
+		got := wideMat(MatMulT2Into32(New32(0, 0), a32, b32))
+		want := naiveMulT2(wideMat(a32), wideMat(b32))
+		tol := f32Tolerance(k)
+		for i := range got.Data {
+			ref := want.Data[i]
+			if math.Abs(got.Data[i]-ref) > tol*(1+math.Abs(ref))*float64(k) {
+				t.Fatalf("MatMulT2Into32 at %v element %d: got %g want %g", sz, i, got.Data[i], ref)
+			}
+		}
+	}
+}
+
+func TestMatMulInto32PropagatesNonFinite(t *testing.T) {
+	a := FromSlice32(1, 2, []float32{0, 1})
+	b := FromSlice32(2, 1, []float32{float32(math.NaN()), 2})
+	got := MatMulInto32(New32(0, 0), a, b).At(0, 0)
+	if !math.IsNaN(float64(got)) {
+		t.Fatalf("float32 kernel lost the NaN: got %v", got)
+	}
+}
+
+func TestMatMulInto32AliasPanics(t *testing.T) {
+	backing := make([]float32, 32)
+	a := FromSlice32(4, 4, backing[:16])
+	dst := FromSlice32(4, 4, backing[8:24])
+	b := New32(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatMulInto32 with overlapping dst did not panic")
+		}
+	}()
+	MatMulInto32(dst, a, b)
+}
+
+func TestAddCol2ImInto32MatchesFloat64(t *testing.T) {
+	rng := NewRNG(23)
+	// ConvTranspose2D geometry from the repo's CNN generator: 2 samples,
+	// c=3 channels, 4×4 kernel scattering a 7×7 grid into 14×14 images.
+	const bsz, c, h, w, k, stride, pad = 2, 3, 14, 14, 4, 2, 1
+	const posH, posW = 7, 7
+	cols := randMat(bsz*posH*posW, c*k*k, rng)
+	dst := randMat(bsz, c*h*w, rng)
+
+	dst32 := Narrow(dst)
+	cols32 := Narrow(cols)
+	AddCol2ImInto32(dst32, cols32, c, h, w, k, stride, pad, posH, posW)
+
+	ref := wideMat(Narrow(dst)) // start from the narrowed seed
+	AddCol2ImInto(ref, wideMat(cols32), c, h, w, k, stride, pad, posH, posW)
+
+	got := wideMat(dst32)
+	maxTaps := k * k // overlapping contributions per output pixel ≤ k²/stride² per channel tap
+	tol := f32Tolerance(maxTaps) * 4
+	for i := range got.Data {
+		if math.Abs(got.Data[i]-ref.Data[i]) > tol*(1+math.Abs(ref.Data[i])) {
+			t.Fatalf("AddCol2ImInto32 element %d: got %g want %g", i, got.Data[i], ref.Data[i])
+		}
+	}
+}
+
+func TestNarrowWidenRoundTrip(t *testing.T) {
+	rng := NewRNG(24)
+	m := randMat(5, 7, rng)
+	w := wideMat(Narrow(m))
+	for i := range m.Data {
+		if float32(m.Data[i]) != float32(w.Data[i]) {
+			t.Fatalf("round trip drifted at %d: %g vs %g", i, m.Data[i], w.Data[i])
+		}
+	}
+	if !m.ApproxEqual(w, 1e-6) {
+		t.Fatal("narrow/widen lost more than float32 precision")
+	}
+}
+
+func TestMat32AddRowVecAndApply(t *testing.T) {
+	m := FromSlice32(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	m.AddRowVec(FromSlice32(1, 3, []float32{10, 20, 30}))
+	want := []float32{11, 22, 33, 14, 25, 36}
+	for i, v := range m.Data {
+		if v != want[i] {
+			t.Fatalf("AddRowVec: %v", m.Data)
+		}
+	}
+	ApplyInto32(m, m, func(v float32) float32 { return -v })
+	if m.Data[0] != -11 {
+		t.Fatalf("ApplyInto32 in place: %v", m.Data)
+	}
+}
+
+func TestFloat32IntoKernelsAllocs(t *testing.T) {
+	rng := NewRNG(25)
+	a := Narrow(randMat(16, 24, rng))
+	b := Narrow(randMat(24, 16, rng))
+	bt := Narrow(randMat(16, 24, rng))
+	dst := New32(16, 16)
+	const c, h, w, k2, stride, pad, posH, posW = 1, 6, 6, 2, 2, 0, 3, 3
+	img := New32(2, c*h*w)
+	cols := Narrow(randMat(2*posH*posW, c*k2*k2, rng))
+
+	src := wideMat(a)
+	checks := map[string]func(){
+		"MatMulInto32":    func() { MatMulInto32(dst, a, b) },
+		"MatMulT2Into32":  func() { MatMulT2Into32(dst, a, bt) },
+		"AddCol2ImInto32": func() { AddCol2ImInto32(img, cols, c, h, w, k2, stride, pad, posH, posW) },
+		"NarrowInto":      func() { NarrowInto(a, src) },
+	}
+	for name, f := range checks {
+		f() // warm capacity
+		if allocs := testing.AllocsPerRun(20, f); allocs != 0 {
+			t.Errorf("%s: %.0f allocs per run, want 0", name, allocs)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // parallelThreshold is the minimum number of multiply-adds below which
@@ -31,29 +32,46 @@ type parcel struct {
 	wg     *sync.WaitGroup
 }
 
+// poolQueueCap bounds the submission queue. It is independent of the
+// worker count so the pool can grow without reallocating the channel; a
+// full queue degrades to inline execution in parallelRun, never blocks.
+const poolQueueCap = 256
+
 var (
-	poolOnce sync.Once
-	poolCh   chan parcel
+	poolCh = make(chan parcel, poolQueueCap)
+	poolMu sync.Mutex
+	// poolSize is the number of persistent workers started so far. Read
+	// atomically on the dispatch fast path, grown under poolMu.
+	poolSize atomic.Int32
 	wgPool   = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
 )
 
-// workerPool lazily starts the persistent kernel workers (one per
-// GOMAXPROCS at first use). Spawning goroutines per dispatch would
-// allocate on every matmul; a shared pool keeps the steady-state training
-// iteration allocation-free.
+// workerPool returns the submission channel, first growing the persistent
+// worker set to the current GOMAXPROCS when it lags behind — GOMAXPROCS is
+// commonly raised after the pool's first use (tests, benchmarks), and a
+// pool pinned to the first-use value would under-serve the chunk math in
+// parallelRun, which re-reads GOMAXPROCS per call. Lowering GOMAXPROCS
+// leaves surplus workers parked on the channel; parallelRun already clamps
+// per-dispatch parallelism to the current value, so surplus workers only
+// cost idle goroutines, never extra concurrency. Spawning goroutines per
+// dispatch would allocate on every matmul; the persistent pool keeps the
+// steady-state training iteration allocation-free.
 func workerPool() chan parcel {
-	poolOnce.Do(func() {
-		n := runtime.GOMAXPROCS(0)
-		poolCh = make(chan parcel, 8*n)
-		for i := 0; i < n; i++ {
-			go func() {
-				for p := range poolCh {
-					p.t.run(p.lo, p.hi)
-					p.wg.Done()
-				}
-			}()
-		}
-	})
+	n := int32(runtime.GOMAXPROCS(0))
+	if poolSize.Load() >= n {
+		return poolCh
+	}
+	poolMu.Lock()
+	for poolSize.Load() < n {
+		go func() {
+			for p := range poolCh {
+				p.t.run(p.lo, p.hi)
+				p.wg.Done()
+			}
+		}()
+		poolSize.Add(1)
+	}
+	poolMu.Unlock()
 	return poolCh
 }
 
@@ -105,42 +123,25 @@ func parallelRun(n, minChunk int, t rangeTask) {
 	wgPool.Put(wg)
 }
 
-// mustNotShareData panics when dst shares backing storage with a source
-// operand. Destination-passing kernels read their sources while writing
-// dst, so aliasing would silently corrupt the result. Only whole-matrix
-// aliasing is detected; overlapping FromSlice views are the caller's
-// responsibility.
+// mustNotShareData panics when dst's backing array overlaps a source
+// operand's in any element — whole-matrix aliasing or partially
+// overlapping FromSlice views of one array. Destination-passing kernels
+// read their sources while writing dst, so any overlap would silently
+// corrupt the result.
 func mustNotShareData(op string, dst *Mat, srcs ...*Mat) {
 	for _, s := range srcs {
-		if s == dst || (len(dst.Data) > 0 && len(s.Data) > 0 && &dst.Data[0] == &s.Data[0]) {
+		if s == dst || slicesOverlap(dst.Data, s.Data) {
 			panic("tensor: " + op + " destination aliases a source operand")
 		}
 	}
 }
 
-// matMulRange computes rows [lo, hi) of c = a × b with an ikj loop order
-// for cache-friendly access to b. When zero is set each output row is
-// cleared before accumulation (the destination-passing path); otherwise c
-// is assumed to arrive zeroed (freshly allocated).
+// matMulRange computes rows [lo, hi) of c = a × b through the tiled ikj
+// kernel (kernels.go). When zero is set each output row is cleared before
+// accumulation (the destination-passing path); otherwise c is assumed to
+// arrive zeroed (freshly allocated).
 func matMulRange(c, a, b *Mat, zero bool, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		arow := a.Row(i)
-		crow := c.Row(i)
-		if zero {
-			for j := range crow {
-				crow[j] = 0
-			}
-		}
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
+	matMulKernel(c.Data, a.Data, b.Data, a.Cols, b.Cols, zero, lo, hi)
 }
 
 // Pooled dispatch tasks: one struct per kernel family so a parallel
@@ -211,32 +212,11 @@ func MatMulInto(dst, a, b *Mat) *Mat {
 }
 
 // matMulT1Range computes columns [lo, hi) of c = aᵀ × b:
-// c[i][j] = Σ_k a[k][i]·b[k][j], accumulating rows of b scaled by a[k][i]
-// so b is walked row-major. When zero is unset, c's rows [lo, hi) are
-// accumulated into rather than overwritten (the fused dW += xᵀ·grad path).
+// c[i][j] = Σ_k a[k][i]·b[k][j], through the tiled kernel (kernels.go).
+// When zero is unset, c's rows [lo, hi) are accumulated into rather than
+// overwritten (the fused dW += xᵀ·grad path).
 func matMulT1Range(c, a, b *Mat, zero bool, lo, hi int) {
-	if zero {
-		for i := lo; i < hi; i++ {
-			crow := c.Row(i)
-			for j := range crow {
-				crow[j] = 0
-			}
-		}
-	}
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i := lo; i < hi; i++ {
-			av := arow[i]
-			if av == 0 {
-				continue
-			}
-			crow := c.Row(i)
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
+	matMulT1Kernel(c.Data, a.Data, b.Data, a.Rows, a.Cols, b.Cols, zero, lo, hi)
 }
 
 func matMulT1Dispatch(c, a, b *Mat, zero bool) {
@@ -294,21 +274,21 @@ func AddMatMulT1Into(dst, a, b *Mat) *Mat {
 	return dst
 }
 
-// matMulT2Range computes rows [lo, hi) of c = a × bᵀ. Every element is a
-// full dot product written once, so no zeroing pass is needed.
+// panel64Pool recycles the packed b-panels of the float64 a×bᵀ kernel;
+// each concurrently running chunk borrows one, so the steady state holds
+// about one panel per worker and dispatches stay allocation-free.
+var panel64Pool = sync.Pool{New: func() any { return new([]float64) }}
+
+// matMulT2Range computes rows [lo, hi) of c = a × bᵀ through the
+// packed-panel dot-product kernel (kernels.go). Every element is a full
+// dot product written once, so no zeroing pass is needed.
 func matMulT2Range(c, a, b *Mat, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		arow := a.Row(i)
-		crow := c.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Row(j)
-			s := 0.0
-			for k, av := range arow {
-				s += av * brow[k]
-			}
-			crow[j] = s
-		}
+	p := panel64Pool.Get().(*[]float64)
+	if need := 4 * a.Cols; cap(*p) < need {
+		*p = make([]float64, need)
 	}
+	matMulT2Kernel(c.Data, a.Data, b.Data, a.Cols, b.Rows, lo, hi, (*p)[:cap(*p)])
+	panel64Pool.Put(p)
 }
 
 func matMulT2Dispatch(c, a, b *Mat) {

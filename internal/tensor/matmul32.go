@@ -1,0 +1,129 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Float32 forward-pass kernels for the serving tier. They share the
+// generic cache-blocked cores (kernels.go) and the persistent worker pool
+// with the float64 family, and are destination-passing only: serving hot
+// paths never allocate. Only the kernels the generator forward passes
+// need exist — MatMul (Linear, ConvTranspose2D), MatMulT2 (Conv2D) and
+// the col2im scatter (ConvTranspose2D); there is no backward-pass tier.
+
+// mustNotShareData32 is mustNotShareData for the float32 kernels.
+func mustNotShareData32(op string, dst *Mat32, srcs ...*Mat32) {
+	for _, s := range srcs {
+		if s == dst || slicesOverlap(dst.Data, s.Data) {
+			panic("tensor: " + op + " destination aliases a source operand")
+		}
+	}
+}
+
+type matMul32Task struct {
+	c, a, b *Mat32
+	zero    bool
+}
+
+func (t *matMul32Task) run(lo, hi int) {
+	matMulKernel(t.c.Data, t.a.Data, t.b.Data, t.a.Cols, t.b.Cols, t.zero, lo, hi)
+}
+
+type matMulT232Task struct {
+	c, a, b *Mat32
+}
+
+func (t *matMulT232Task) run(lo, hi int) {
+	p := panel32Pool.Get().(*[]float32)
+	if need := 4 * t.a.Cols; cap(*p) < need {
+		*p = make([]float32, need)
+	}
+	matMulT2Kernel(t.c.Data, t.a.Data, t.b.Data, t.a.Cols, t.b.Rows, lo, hi, (*p)[:cap(*p)])
+	panel32Pool.Put(p)
+}
+
+var (
+	matMul32TaskPool   = sync.Pool{New: func() any { return new(matMul32Task) }}
+	matMulT232TaskPool = sync.Pool{New: func() any { return new(matMulT232Task) }}
+	panel32Pool        = sync.Pool{New: func() any { return new([]float32) }}
+)
+
+// MatMulInto32 computes dst = a × b, resizing dst as needed. dst must not
+// alias a or b. It returns dst.
+func MatMulInto32(dst, a, b *Mat32) *Mat32 {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulInto32 inner dimension mismatch %d×%d · %d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	dst.Resize(a.Rows, b.Cols)
+	mustNotShareData32("MatMulInto32", dst, a, b)
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold {
+		matMulKernel(dst.Data, a.Data, b.Data, a.Cols, b.Cols, true, 0, a.Rows)
+		return dst
+	}
+	t := matMul32TaskPool.Get().(*matMul32Task)
+	t.c, t.a, t.b, t.zero = dst, a, b, true
+	minChunk := parallelThreshold / (a.Cols*b.Cols + 1)
+	parallelRun(a.Rows, minChunk+1, t)
+	t.c, t.a, t.b = nil, nil, nil
+	matMul32TaskPool.Put(t)
+	return dst
+}
+
+// MatMulT2Into32 computes dst = a × bᵀ, resizing dst as needed. dst must
+// not alias a or b. It returns dst.
+func MatMulT2Into32(dst, a, b *Mat32) *Mat32 {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulT2Into32 dimension mismatch %d×%d · %d×%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	dst.Resize(a.Rows, b.Rows)
+	mustNotShareData32("MatMulT2Into32", dst, a, b)
+	work := a.Rows * a.Cols * b.Rows
+	if work < parallelThreshold {
+		t := matMulT232Task{c: dst, a: a, b: b}
+		t.run(0, a.Rows)
+		return dst
+	}
+	t := matMulT232TaskPool.Get().(*matMulT232Task)
+	t.c, t.a, t.b = dst, a, b
+	minChunk := parallelThreshold / (a.Cols*b.Rows + 1)
+	parallelRun(a.Rows, minChunk+1, t)
+	t.c, t.a, t.b = nil, nil, nil
+	matMulT232TaskPool.Put(t)
+	return dst
+}
+
+type col2im32Task struct {
+	dst, cols *Mat32
+	g         convGeom
+}
+
+func (t *col2im32Task) run(lo, hi int) {
+	col2imKernel(t.dst.Data, t.cols.Data, t.dst.Cols, t.cols.Cols, t.g, lo, hi)
+}
+
+var col2im32TaskPool = sync.Pool{New: func() any { return new(col2im32Task) }}
+
+// AddCol2ImInto32 is AddCol2ImInto for the float32 tier: scatter-adds
+// patch rows of cols into the bias-seeded images of dst. Shapes and
+// semantics match AddCol2ImInto exactly. Returns dst.
+func AddCol2ImInto32(dst, cols *Mat32, c, h, w, k, stride, pad, posH, posW int) *Mat32 {
+	g := convGeom{c, h, w, k, stride, pad, posH, posW}
+	im2colCheck("AddCol2ImInto32", dst.Cols, g)
+	pos := posH * posW
+	fan := c * k * k
+	if cols.Cols != fan {
+		panic(fmt.Sprintf("tensor: AddCol2ImInto32 cols width %d, want c·k·k = %d", cols.Cols, fan))
+	}
+	if cols.Rows != dst.Rows*pos {
+		panic(fmt.Sprintf("tensor: AddCol2ImInto32 cols rows %d, want %d samples × %d positions", cols.Rows, dst.Rows, pos))
+	}
+	mustNotShareData32("AddCol2ImInto32", dst, cols)
+	t := col2im32TaskPool.Get().(*col2im32Task)
+	t.dst, t.cols, t.g = dst, cols, g
+	parallelRun(dst.Rows, parallelThreshold/(pos*fan+1)+1, t)
+	t.dst, t.cols = nil, nil
+	col2im32TaskPool.Put(t)
+	return dst
+}
